@@ -1,0 +1,46 @@
+# Interval-Based Memory Reclamation — reproduction workflow
+# (the artifact appendix's `make` / test-script / plot pipeline, in Go)
+
+GO ?= go
+
+.PHONY: all build vet test race stress bench figs plots examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Correctness soak across every (structure × scheme) pair.
+stress:
+	$(GO) run ./cmd/ibrstress -all -i 2
+
+# testing.B benchmarks: one family per paper figure + ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure's data (CSV + ASCII tables + stall curves)…
+figs:
+	$(GO) run ./cmd/ibrfigs -fig all -i 0.5 -o data
+
+# …and render the SVG charts from it.
+plots:
+	$(GO) run ./cmd/ibrplot -i data -o data
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pstack
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/stallrobust
+	$(GO) run ./examples/kvstore -ms 150
+
+clean:
+	rm -f data/*.csv data/*.svg data/*.txt

@@ -1,0 +1,208 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// figure (see DESIGN.md §4 for the index, and cmd/ibrfigs for the
+// full-duration sweeps). Each sub-benchmark is one (scheme) line of the
+// figure at a fixed thread count; throughput is the benchmark's ns/op (and
+// an explicit Mops/s metric), and the Fig. 9/10 space metric is reported as
+// "retired-blocks".
+//
+// Run with: go test -bench=. -benchmem
+package ibr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ibr/internal/core"
+	"ibr/internal/ds"
+)
+
+// benchThreads is the worker count used by the figure benches. The paper
+// sweeps 1..100 threads; a testing.B bench needs one representative point,
+// and cmd/ibrfigs does the full sweep.
+const benchThreads = 4
+
+var (
+	generalSchemes = []string{"none", "ebr", "hp", "he", "tagibr", "tagibr-faa", "tagibr-wcas", "2geibr"}
+	bonsaiSchemes  = []string{"none", "ebr", "poibr", "tagibr", "tagibr-faa", "tagibr-wcas", "2geibr"}
+)
+
+// benchCell drives b.N operations of the paper's write- or read-dominated
+// mix against a prefilled structure, spread over benchThreads goroutines.
+func benchCell(b *testing.B, structure, scheme string, keyRange uint64, readPct int, emptyFreq int) {
+	b.Helper()
+	m, err := ds.NewMap(structure, ds.Config{
+		Scheme: scheme,
+		Core:   core.Options{Threads: benchThreads, EmptyFreq: emptyFreq},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]ds.KV, 0, keyRange*3/4)
+	for k := uint64(0); k < keyRange; k++ {
+		if k%4 != 3 {
+			pairs = append(pairs, ds.KV{Key: k, Val: k})
+		}
+	}
+	// Shuffle: an ascending prefill would degenerate the unbalanced
+	// Natarajan–Mittal tree into a path.
+	shuf := splitmix(7)
+	for i := len(pairs) - 1; i > 0; i-- {
+		j := int(shuf.next() % uint64(i+1))
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+	}
+	m.Fill(pairs)
+
+	var (
+		spaceSum   atomic.Int64
+		spaceCount atomic.Int64
+	)
+	perThread := b.N / benchThreads
+	scheme2 := m.(ds.Instrumented).Scheme()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for tid := 0; tid < benchThreads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			n := perThread
+			if tid == 0 {
+				n += b.N - perThread*benchThreads
+			}
+			s := splitmix(uint64(tid) + 1)
+			var localSum, localCnt int64
+			for i := 0; i < n; i++ {
+				localSum += int64(scheme2.Unreclaimed(tid))
+				localCnt++
+				key := s.next() % keyRange
+				r := s.next() % 100
+				switch {
+				case int(r) < readPct:
+					m.Get(tid, key)
+				case s.next()%2 == 0:
+					m.Insert(tid, key, key)
+				default:
+					m.Remove(tid, key)
+				}
+			}
+			spaceSum.Add(localSum)
+			spaceCount.Add(localCnt)
+		}(tid)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if spaceCount.Load() > 0 {
+		avgPerThread := float64(spaceSum.Load()) / float64(spaceCount.Load())
+		b.ReportMetric(avgPerThread*benchThreads, "retired-blocks")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkFig8a / Fig9a: Harris–Michael list, write-dominated. The list's
+// long traversals are where TagIBR's fence-free reads beat HP hardest. The
+// key range is 4096 (not the paper's 65536) to keep per-op cost sane inside
+// testing.B; cmd/ibrfigs runs the full range.
+func BenchmarkFig8aList(b *testing.B) {
+	for _, s := range generalSchemes {
+		b.Run(s, func(b *testing.B) { benchCell(b, "list", s, 4096, 0, 0) })
+	}
+}
+
+// BenchmarkFig8b / Fig9b: Michael hash map, write-dominated, full key range.
+func BenchmarkFig8bHashMap(b *testing.B) {
+	for _, s := range generalSchemes {
+		b.Run(s, func(b *testing.B) { benchCell(b, "hashmap", s, 65536, 0, 0) })
+	}
+}
+
+// BenchmarkFig8c / Fig9c: Natarajan–Mittal tree, write-dominated.
+func BenchmarkFig8cNMTree(b *testing.B) {
+	for _, s := range generalSchemes {
+		b.Run(s, func(b *testing.B) { benchCell(b, "nmtree", s, 65536, 0, 0) })
+	}
+}
+
+// BenchmarkFig8d / Fig9d: Bonsai tree, write-dominated; POIBR replaces the
+// pointer-based schemes (§5).
+func BenchmarkFig8dBonsai(b *testing.B) {
+	for _, s := range bonsaiSchemes {
+		b.Run(s, func(b *testing.B) { benchCell(b, "bonsai", s, 8192, 0, 0) })
+	}
+}
+
+// BenchmarkFig10 is the read-dominated (90% lookup) Natarajan–Mittal run
+// whose space metric is Fig. 10.
+func BenchmarkFig10NMTreeReadDom(b *testing.B) {
+	for _, s := range []string{"ebr", "hp", "he", "tagibr", "tagibr-faa", "tagibr-wcas", "2geibr"} {
+		b.Run(s, func(b *testing.B) { benchCell(b, "nmtree", s, 65536, 90, 0) })
+	}
+}
+
+// BenchmarkEmptyFreqSweep is the §5 tuning experiment: throughput should
+// stay roughly flat for 1 <= k <= 50 while the retired-blocks metric grows
+// about linearly in k.
+func BenchmarkEmptyFreqSweep(b *testing.B) {
+	for _, k := range []int{1, 10, 30, 50} {
+		b.Run(fmt.Sprintf("tagibr/k=%d", k), func(b *testing.B) {
+			benchCell(b, "hashmap", "tagibr", 16384, 0, k)
+		})
+	}
+}
+
+// BenchmarkReadPrimitive isolates the per-read instrumentation cost of each
+// scheme — the mechanism behind the whole Fig. 8 ranking: EBR and the IBRs
+// read with at most one local comparison, HP pays a fenced store + re-read
+// on every pointer hop.
+func BenchmarkReadPrimitive(b *testing.B) {
+	for _, name := range core.Names() {
+		if !ds.SchemeSupports(name, "list") {
+			continue // poibr: the list is not persistent
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := ds.NewMap("list", ds.Config{Scheme: name, Core: core.Options{Threads: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := m.(*ds.List)
+			var pairs []ds.KV
+			for k := uint64(0); k < 64; k++ {
+				pairs = append(pairs, ds.KV{Key: k, Val: k})
+			}
+			l.Fill(pairs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Get(0, uint64(i)%64) // ~32 protected reads per call
+			}
+		})
+	}
+}
+
+// BenchmarkAllocRetire isolates the allocation + retirement + scan path:
+// the write-side overhead of each scheme.
+func BenchmarkAllocRetire(b *testing.B) {
+	for _, name := range []string{"ebr", "hp", "he", "poibr", "tagibr", "tagibr-wcas", "2geibr"} {
+		b.Run(name, func(b *testing.B) {
+			st, err := ds.NewStack(ds.Config{Scheme: name, Core: core.Options{Threads: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Push(0, uint64(i))
+				st.Pop(0)
+			}
+		})
+	}
+}
+
+type sm struct{ s uint64 }
+
+func splitmix(seed uint64) *sm { return &sm{s: seed} }
+func (r *sm) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,207 @@
+// Command ibrfigs regenerates the paper's evaluation figures (see DESIGN.md
+// §4 for the experiment index): it sweeps every (scheme × thread-count)
+// cell of one or all experiments, writes the raw measurements as CSV, and
+// prints ASCII series tables for both metrics (throughput for Fig. 8, the
+// average retired-but-unreclaimed block count for Figs. 9/10).
+//
+//	ibrfigs -fig all -i 0.25 -o data
+//	ibrfigs -fig 8c -threads 1,4,16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ibr/internal/harness"
+	"ibr/internal/plot"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", `experiment id ("8a".."8d", "10", "k", "stall", "stallcurve") or "all"`)
+		interval = flag.Float64("i", 0.25, "seconds per benchmark cell")
+		threads  = flag.String("threads", "", "comma-separated thread counts overriding the default sweep")
+		outDir   = flag.String("o", "data", "directory for CSV output")
+		quiet    = flag.Bool("q", false, "suppress the ASCII tables")
+	)
+	flag.Parse()
+
+	var override []int
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "ibrfigs: bad thread count %q\n", part)
+				os.Exit(1)
+			}
+			override = append(override, n)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "ibrfigs:", err)
+		os.Exit(1)
+	}
+
+	if *fig == "stallcurve" || *fig == "all" {
+		if err := runStallCurve(time.Duration(*interval*float64(time.Second)), *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ibrfigs:", err)
+			os.Exit(1)
+		}
+		if *fig == "stallcurve" {
+			return
+		}
+	}
+
+	var exps []harness.Experiment
+	if *fig == "all" {
+		exps = harness.Experiments()
+	} else {
+		e, err := harness.ExperimentByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibrfigs:", err)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		if err := runExperiment(e, time.Duration(*interval*float64(time.Second)), override, *outDir, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "ibrfigs:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runExperiment(e harness.Experiment, d time.Duration, override []int, outDir string, quiet bool) error {
+	cells := e.Cells(d, override)
+	fmt.Fprintf(os.Stderr, "== %s: %s (%d cells, %.2gs each)\n", e.ID, e.Title, len(cells), d.Seconds())
+
+	path := filepath.Join(outDir, e.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := harness.WriteCSVHeader(f); err != nil {
+		return err
+	}
+
+	var results []harness.Result
+	for i, cfg := range cells {
+		res, err := harness.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("cell %d (%s/%s t=%d): %w", i, cfg.Structure, cfg.Scheme, cfg.Threads, err)
+		}
+		results = append(results, res)
+		if err := harness.WriteCSVRow(f, e.ID, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-12s t=%-3d k=%-3d %10.4f Mops  %10.1f retired\n",
+			i+1, len(cells), cfg.Scheme, cfg.Threads, cfg.EmptyFreq, res.Mops, res.AvgRetired)
+	}
+
+	if !quiet {
+		if e.ID == "ksweep" {
+			printKSweep(results)
+		} else {
+			harness.Series(os.Stdout, e.Title, "mops", results)
+			fmt.Println()
+			harness.Series(os.Stdout, e.Title, "space", results)
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "   wrote %s\n", path)
+	return nil
+}
+
+// printKSweep renders the empty-frequency ablation: rows are k values,
+// column pairs are (Mops, retired) per scheme.
+func printKSweep(results []harness.Result) {
+	fmt.Println("# §5 tuning sweep: retire-scan frequency k (expect flat Mops, ~linear space)")
+	schemes := []string{}
+	seen := map[string]bool{}
+	ks := []int{}
+	seenK := map[int]bool{}
+	for _, r := range results {
+		if !seen[r.Scheme] {
+			seen[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+		if !seenK[r.EmptyFreq] {
+			seenK[r.EmptyFreq] = true
+			ks = append(ks, r.EmptyFreq)
+		}
+	}
+	fmt.Printf("%-6s", "k")
+	for _, s := range schemes {
+		fmt.Printf("%14s", s+" Mops")
+		fmt.Printf("%14s", s+" space")
+	}
+	fmt.Println()
+	for _, k := range ks {
+		fmt.Printf("%-6d", k)
+		for _, s := range schemes {
+			for _, r := range results {
+				if r.EmptyFreq == k && r.Scheme == s {
+					fmt.Printf("%14.4f%14.1f", r.Mops, r.AvgRetired)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// runStallCurve records the space-vs-time series for each scheme with one
+// mid-run staller and renders them as a single SVG — the paper's
+// robustness claim as a picture: EBR's curve tracks the stall duration,
+// the robust schemes plateau.
+func runStallCurve(d time.Duration, outDir string) error {
+	if d < 400*time.Millisecond {
+		d = 400 * time.Millisecond
+	}
+	fmt.Fprintf(os.Stderr, "== stallcurve: retired blocks vs time, 1 staller (%.2gs per scheme)\n", d.Seconds())
+	chart := &plot.Chart{
+		Title:  "retired blocks over time with one stalled thread (stall = half the run)",
+		XLabel: "ms",
+		YLabel: "retired-but-unreclaimed blocks",
+	}
+	for _, scheme := range []string{"ebr", "hp", "he", "tagibr", "2geibr"} {
+		series, err := harness.RunSpaceSeries(harness.Config{
+			Structure: "hashmap", Scheme: scheme, Threads: 2,
+			Stalled: 1, StallFor: d / 2,
+			Duration: d, KeyRange: 4096,
+		}, d/100)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outDir, "stallcurve-"+scheme+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteSpaceSeriesCSV(f, series); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		s := plot.Series{Name: scheme}
+		for _, p := range series.Points {
+			s.X = append(s.X, float64(p.T.Microseconds())/1000)
+			s.Y = append(s.Y, float64(p.Retired))
+		}
+		chart.Series = append(chart.Series, s)
+		fmt.Fprintf(os.Stderr, "   %-8s %d samples\n", scheme, len(series.Points))
+	}
+	path := filepath.Join(outDir, "stallcurve.svg")
+	if err := os.WriteFile(path, []byte(chart.SVG()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "   wrote %s\n", path)
+	return nil
+}

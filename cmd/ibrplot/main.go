@@ -1,0 +1,72 @@
+// Command ibrplot turns the CSV written by ibrfigs into SVG line charts —
+// the stdlib stand-in for the artifact's "Rscript genfigs.R":
+//
+//	ibrplot -i data -o data          # every *.csv with harness columns → two SVGs each
+//	ibrplot -i data/fig8b.csv -o data
+//
+// Each figure yields <name>-mops.svg (throughput, Fig. 8 style) and
+// <name>-space.svg (avg retired blocks, Fig. 9/10 style, log y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ibr/internal/plot"
+)
+
+func main() {
+	in := flag.String("i", "data", "CSV file or directory of fig*.csv")
+	out := flag.String("o", "data", "output directory for SVGs")
+	flag.Parse()
+
+	var files []string
+	if st, err := os.Stat(*in); err == nil && st.IsDir() {
+		matches, _ := filepath.Glob(filepath.Join(*in, "*.csv"))
+		files = matches
+	} else {
+		files = []string{*in}
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "ibrplot: no CSV files found")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "ibrplot:", err)
+		os.Exit(1)
+	}
+	for _, f := range files {
+		if err := plotFile(f, *out); err != nil {
+			if strings.Contains(err.Error(), "missing column") {
+				continue // not a harness CSV (e.g. a stallcurve series)
+			}
+			fmt.Fprintf(os.Stderr, "ibrplot: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func plotFile(path, outDir string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := plot.ReadHarnessCSV(f)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".csv")
+	for _, metric := range []string{"mops", "space"} {
+		c := plot.BuildFigure(name, metric, rows)
+		outPath := filepath.Join(outDir, fmt.Sprintf("%s-%s.svg", name, metric))
+		if err := os.WriteFile(outPath, []byte(c.SVG()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

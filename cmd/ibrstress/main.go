@@ -1,0 +1,233 @@
+// Command ibrstress is a correctness hammer: it drives a (structure ×
+// scheme) pair with concurrent workers under freed-node poisoning, checks
+// every operation against per-thread models on disjoint key ranges, and
+// finishes with structural validation and exact leak accounting. It exits
+// non-zero on the first violation — use it to soak-test a scheme for
+// minutes or hours:
+//
+//	ibrstress -r nmtree -d tagibr -t 8 -i 30
+//	ibrstress -all -i 2          # every supported pair, 2s each
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ibr/internal/core"
+	"ibr/internal/ds"
+)
+
+func main() {
+	var (
+		structure = flag.String("r", "hashmap", "structure under test")
+		scheme    = flag.String("d", "tagibr", "reclamation scheme")
+		threads   = flag.Int("t", 4, "worker threads")
+		seconds   = flag.Float64("i", 5, "seconds per pair")
+		keysEach  = flag.Uint64("keys", 128, "keys per worker (disjoint ranges)")
+		shared    = flag.Uint64("shared", 16, "extra fully-shared hot keys")
+		all       = flag.Bool("all", false, "run every supported (structure, scheme) pair")
+		seed      = flag.Int64("seed", time.Now().UnixNano(), "rng seed")
+	)
+	flag.Parse()
+
+	pairs := [][2]string{{*structure, *scheme}}
+	if *all {
+		pairs = nil
+		for _, st := range []string{"list", "hashmap", "nmtree", "bonsai", "skiplist"} {
+			for _, sc := range core.Names() {
+				if ds.SchemeSupports(sc, st) {
+					pairs = append(pairs, [2]string{st, sc})
+				}
+			}
+		}
+	}
+
+	failed := 0
+	for _, p := range pairs {
+		if err := stress(p[0], p[1], *threads, *seconds, *keysEach, *shared, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %-9s %-12s %v\n", p[0], p[1], err)
+			failed++
+		} else {
+			fmt.Printf("ok   %-9s %-12s\n", p[0], p[1])
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d pair(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func stress(structure, scheme string, threads int, seconds float64, keysEach, shared uint64, seed int64) error {
+	m, err := ds.NewMap(structure, ds.Config{
+		Scheme:    scheme,
+		Core:      core.Options{Threads: threads, EpochFreq: 32, EmptyFreq: 16},
+		PoolSlots: 1 << 21,
+		Buckets:   1 << 10,
+		Poison:    true,
+	})
+	if err != nil {
+		return err
+	}
+
+	var (
+		stop      atomic.Bool
+		exhausted atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stop.Store(true)
+		}
+		mu.Unlock()
+	}
+	inst := m.(ds.Instrumented)
+	// outOfMemory distinguishes a failed insert caused by pool exhaustion
+	// (inevitable for the leaking NoMM baseline in a long soak; possible
+	// for any scheme if reservations pin everything) from a model
+	// violation: if the pool is essentially full, stop the run cleanly.
+	outOfMemory := func() bool {
+		st := inst.PoolStats()
+		// Per-thread free caches can strand up to ~129 slots each.
+		if st.Live()+uint64(threads)*140 >= st.Capacity {
+			exhausted.Store(true)
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
+	models := make([]map[uint64]uint64, threads)
+
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			model := map[uint64]uint64{}
+			models[tid] = model
+			base := uint64(tid+1) * 1_000_000
+			rng := rand.New(rand.NewSource(seed + int64(tid)))
+			for !stop.Load() {
+				if rng.Intn(8) == 0 && shared > 0 {
+					// Contention traffic on the shared hot range: results
+					// are nondeterministic, but values must never be
+					// corrupted (poison = ^uint64(0) - k pattern below).
+					k := uint64(rng.Intn(int(shared)))
+					switch rng.Intn(3) {
+					case 0:
+						m.Insert(tid, k, k*2+1)
+					case 1:
+						m.Remove(tid, k)
+					default:
+						if v, ok := m.Get(tid, k); ok && v != k*2+1 {
+							report(fmt.Errorf("shared key %d corrupted: value %d", k, v))
+							return
+						}
+					}
+					continue
+				}
+				key := base + uint64(rng.Intn(int(keysEach)))
+				switch rng.Intn(4) {
+				case 0, 1:
+					val := rng.Uint64() >> 1
+					_, in := model[key]
+					if m.Insert(tid, key, val) == in {
+						if !in && outOfMemory() {
+							return // allocator exhausted: clean early stop
+						}
+						report(fmt.Errorf("tid %d: Insert(%d) inconsistent with model", tid, key))
+						return
+					}
+					if !in {
+						model[key] = val
+					}
+				case 2:
+					_, in := model[key]
+					if got := m.Remove(tid, key); got != in {
+						if in && !got && outOfMemory() {
+							return // e.g. Bonsai's path copy hit the cap
+						}
+						report(fmt.Errorf("tid %d: Remove(%d) inconsistent with model", tid, key))
+						return
+					}
+					delete(model, key)
+				default:
+					want, in := model[key]
+					got, ok := m.Get(tid, key)
+					if ok != in || (ok && got != want) {
+						report(fmt.Errorf("tid %d: Get(%d) = (%d,%v), model (%d,%v)", tid, key, got, ok, want, in))
+						return
+					}
+				}
+			}
+		}(tid)
+	}
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Quiescent validation: models vs content, structure invariants, leaks.
+	if sl, ok := m.(*ds.SkipList); ok {
+		sl.Sweep(0)
+	}
+	core.DrainAll(inst.Scheme(), threads)
+
+	keys := m.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("Keys() not strictly sorted at %d", keys[i])
+		}
+	}
+	present := map[uint64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	for tid, model := range models {
+		for k, v := range model {
+			if !present[k] {
+				return fmt.Errorf("tid %d: key %d lost", tid, k)
+			}
+			if got, ok := m.Get(0, k); !ok || got != v {
+				return fmt.Errorf("tid %d: key %d value %d, want %d", tid, k, got, v)
+			}
+		}
+	}
+	if exhausted.Load() {
+		fmt.Printf("note %-9s %-12s pool exhausted; stopped early (leak check skipped)\n", structure, scheme)
+	}
+	if scheme != "none" && !exhausted.Load() {
+		st := inst.PoolStats()
+		var want uint64
+		switch structure {
+		case "nmtree":
+			want = uint64(2*(len(keys)+3) - 1)
+		default:
+			want = uint64(len(keys))
+		}
+		if st.Live() != want {
+			return fmt.Errorf("leak: %d live slots, want %d (allocs %d frees %d)",
+				st.Live(), want, st.Allocs, st.Frees)
+		}
+	}
+	if b, ok := m.(*ds.Bonsai); ok {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+	}
+	if sl, ok := m.(*ds.SkipList); ok {
+		if err := sl.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ibr
+
+go 1.24

@@ -1,0 +1,457 @@
+// Package core implements the memory-reclamation schemes evaluated in
+// "Interval-Based Memory Reclamation" (Wen et al., PPoPP 2018): the paper's
+// three IBR algorithms (POIBR, TagIBR with its FAA/WCAS/TPA variants, and
+// 2GEIBR) plus the comparison schemes (NoMM, EBR, hazard pointers, hazard
+// eras). All schemes implement the shared API of Fig. 1 of the paper.
+//
+// A scheme mediates every access to shared pointers (Ptr cells) of a data
+// structure whose nodes live in a mem.Pool. Threads are identified by small
+// integer ids; a given tid must be used by one goroutine at a time.
+//
+// # Deviation from the paper's Figs. 5 and 6
+//
+// The figures publish the upper reservation endpoint *after* loading the
+// pointer and then return immediately. Between the load and the publish, a
+// concurrent reclaimer can scan the thread's stale (small) interval, miss
+// the conflict, and free the block just loaded — the same window hazard
+// pointers close by re-reading the pointer after the fence. We therefore
+// implement the read protocol the way the authors' artifact does: publish
+// the candidate endpoint first, then re-read the pointer, returning only a
+// value that was (re)loaded while the covering reservation was already
+// visible. The loop is still lock free: it retries only when another thread
+// raised born_before / the global epoch, i.e. when some thread made
+// progress (Theorem 3's argument is unchanged).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ibr/internal/epoch"
+	"ibr/internal/mem"
+)
+
+// Ptr is a shared mutable pointer cell ("block**" in Fig. 1). Data
+// structures embed Ptr for every mutable link (list next, tree children,
+// the root) and access it only through a Scheme.
+//
+// bits holds the mem.Handle (with the application's mark bits, and — under
+// TagIBR-WCAS — the packed birth epoch). born is the monotonically
+// increasing born_before tag of Fig. 5, used only by the portable and FAA
+// TagIBR variants; it is the "doubles the size of pointers" cost the WCAS
+// and TPA variants remove.
+type Ptr struct {
+	born atomic.Uint64
+	bits atomic.Uint64
+}
+
+// Raw returns the current handle without any protection. It is safe only
+// when the caller knows no reclamation can interfere (single-threaded
+// setup, tests, NoMM) — exactly like dereferencing without a hazard in C.
+func (p *Ptr) Raw() mem.Handle { return mem.Handle(p.bits.Load()) }
+
+// setRaw stores without instrumentation; used by schemes and for
+// single-threaded initialization via Scheme implementations.
+func (p *Ptr) setRaw(h mem.Handle) { p.bits.Store(uint64(h)) }
+
+// FetchOrMarks atomically ORs mark bits (mem.Mark0Bit/Mark1Bit) into the
+// stored word and returns the previous value. Because the target address is
+// unchanged, no scheme needs write-side instrumentation for it: TagIBR's
+// born_before already covers the target, and WCAS's packed epoch rides
+// along untouched. The Natarajan–Mittal tree uses it to flag and tag edges,
+// mirroring the bitwise-OR instruction of that paper.
+func (p *Ptr) FetchOrMarks(m uint64) mem.Handle {
+	return mem.Handle(p.bits.Or(m & (mem.Mark0Bit | mem.Mark1Bit)))
+}
+
+// Memory is the allocator surface a Scheme needs: allocation, reclamation,
+// and the birth/retire epoch fields of the block header. *mem.Pool[T]
+// satisfies it for every T.
+type Memory interface {
+	Alloc(tid int) (mem.Handle, bool)
+	Free(tid int, h mem.Handle)
+	Birth(h mem.Handle) uint64
+	SetBirth(h mem.Handle, e uint64)
+	RetireEpoch(h mem.Handle) uint64
+	SetRetireEpoch(h mem.Handle, e uint64)
+	MarkRetired(h mem.Handle)
+}
+
+// Scheme is the memory-management API of Fig. 1, extended with the thread
+// id and protection-slot plumbing that the paper leaves implicit.
+type Scheme interface {
+	// Name returns the scheme's registry name, e.g. "tagibr-wcas".
+	Name() string
+
+	// StartOp marks the start of a data-structure operation (Fig. 1
+	// start_op): the thread publishes its reservation.
+	StartOp(tid int)
+
+	// EndOp marks the end of the operation: the reservation is withdrawn
+	// and, for pointer-based schemes, all protection slots are cleared.
+	EndOp(tid int)
+
+	// RestartOp renews the reservation mid-operation. Data structures call
+	// it when they restart from the root after repeated CAS failures; per
+	// §4.3.1 this bounds the memory a starving (but not stalled) thread can
+	// reserve. The caller must hold no node references across the call.
+	RestartOp(tid int)
+
+	// Alloc allocates a block and stamps its birth epoch, advancing the
+	// global epoch every EpochFreq allocations (Figs. 4/5 alloc). It
+	// returns Nil only if the pool is exhausted even after a forced scan.
+	Alloc(tid int) mem.Handle
+
+	// Retire hands a detached block to the reclamation system (Fig. 1
+	// retire). The block must already be unreachable from the structure's
+	// shared pointers. Every EmptyFreq retirements the thread scans its
+	// retire list and frees every block no longer protected.
+	Retire(tid int, h mem.Handle)
+
+	// Read performs a protected pointer load (Fig. 1 read). idx names the
+	// per-thread protection slot for HP/HE (0 <= idx < Options.Slots);
+	// epoch- and interval-based schemes ignore it. The returned handle
+	// carries the application mark bits of the stored value.
+	Read(tid, idx int, p *Ptr) mem.Handle
+
+	// ReadRoot is Read for a data structure's root pointer. POIBR overrides
+	// it with the snapshot read of Fig. 4 (its only protected read); every
+	// other scheme treats it as Read.
+	ReadRoot(tid, idx int, p *Ptr) mem.Handle
+
+	// Write performs a shared pointer store (Fig. 1 write). TagIBR
+	// variants first raise the pointer's born_before tag.
+	Write(tid int, p *Ptr, h mem.Handle)
+
+	// CompareAndSwap conditionally updates a shared pointer (Fig. 1 CAS).
+	CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool
+
+	// Unreserve releases protection slot idx (Fig. 1 unreserve). Only
+	// HP and HE need it; it is a no-op elsewhere — the headline usability
+	// win of interval-based reclamation.
+	Unreserve(tid, idx int)
+
+	// TransferSlot copies the protection in slot from to slot to (both
+	// owned by tid). HP/HE use it when a traversal's node roles shift
+	// (e.g. the Natarajan–Mittal seek promoting leaf to parent): the node
+	// stays continuously protected, so no re-validation is needed. A no-op
+	// for every other scheme — more per-read bookkeeping that IBR avoids.
+	TransferSlot(tid, from, to int)
+
+	// Drain forces a scan of tid's retire list regardless of EmptyFreq.
+	Drain(tid int)
+
+	// Unreclaimed returns the number of blocks tid has retired but not yet
+	// reclaimed — the space metric of Fig. 9.
+	Unreclaimed(tid int) int
+
+	// Robust reports whether a stalled thread can block only a bounded
+	// number of reclamations under this scheme (Fig. 7 summary).
+	Robust() bool
+}
+
+// Options tunes a scheme; zero values select the paper's settings.
+type Options struct {
+	// Threads is the number of thread ids. Required.
+	Threads int
+	// EpochFreq: advance the global epoch every EpochFreq allocations by a
+	// thread (paper §5 uses n×k total with k=150, i.e. each thread
+	// advances every 150 of its own allocations). Default 150.
+	EpochFreq int
+	// EmptyFreq: scan the retire list every EmptyFreq retirements
+	// (paper §5: k=30). Default 30.
+	EmptyFreq int
+	// Slots is the number of protection slots per thread for HP/HE.
+	// Default 8 (enough for every structure here except the Bonsai tree,
+	// which pointer-based schemes cannot run; see §5 of the paper).
+	Slots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		panic("core: Options.Threads must be positive")
+	}
+	if o.EpochFreq <= 0 {
+		o.EpochFreq = 150
+	}
+	if o.EmptyFreq <= 0 {
+		o.EmptyFreq = 30
+	}
+	if o.Slots <= 0 {
+		o.Slots = 8
+	}
+	return o
+}
+
+// retiredBlock caches the lifetime interval so scans do not touch block
+// headers (which may be on remote cache lines).
+type retiredBlock struct {
+	h             mem.Handle
+	birth, retire uint64
+}
+
+// threadState is per-thread bookkeeping, cache-line padded.
+type threadState struct {
+	_           [64]byte
+	allocCount  uint64
+	retireCount uint64
+	retired     []retiredBlock
+	unreclaimed atomic.Int64 // len(retired), readable by samplers
+	scratch     []uint64     // scan scratch (HP address / HE era snapshot)
+	ivScratch   []interval   // scan scratch (interval snapshot)
+	scans       uint64       // retire-list scans executed
+	scanned     uint64       // retired blocks examined across all scans
+	freed       uint64       // blocks reclaimed by scans
+	_           [64]byte
+}
+
+// base carries the machinery shared by every scheme: the global clock, the
+// reservation table, per-thread retire lists, and the alloc/retire cadence
+// of Figs. 2, 4 and 5.
+type base struct {
+	name  string
+	mem   Memory
+	clock *epoch.Clock
+	res   *epoch.Table
+	opts  Options
+	ts    []threadState
+}
+
+func newBase(name string, m Memory, o Options) base {
+	o = o.withDefaults()
+	return base{
+		name:  name,
+		mem:   m,
+		clock: epoch.NewClock(),
+		res:   epoch.NewTable(o.Threads),
+		opts:  o,
+		ts:    make([]threadState, o.Threads),
+	}
+}
+
+func (b *base) Name() string            { return b.name }
+func (b *base) Unreclaimed(tid int) int { return int(b.ts[tid].unreclaimed.Load()) }
+func (b *base) Unreserve(tid, idx int)  {}
+func (b *base) checkTid(tid int)        { _ = &b.ts[tid] }
+
+// Clock exposes the scheme's epoch clock (tests and diagnostics).
+func (b *base) Clock() *epoch.Clock { return b.clock }
+
+// ScanStats aggregates reclamation-scan work across threads. Scanned/Scans
+// is the mean retire-list length at scan time: the per-retirement overhead
+// that lands on the critical path when no spare cores absorb it (see
+// EXPERIMENTS.md on the single-CPU throughput inversion). Callers should
+// read it at quiescence.
+type ScanStats struct {
+	Scans   uint64 // empty() executions
+	Scanned uint64 // retired blocks examined (Σ list lengths)
+	Freed   uint64 // blocks reclaimed
+}
+
+// MeanListLen returns the average retire-list length per scan.
+func (s ScanStats) MeanListLen() float64 {
+	if s.Scans == 0 {
+		return 0
+	}
+	return float64(s.Scanned) / float64(s.Scans)
+}
+
+// ScanStats sums the per-thread scan counters.
+func (b *base) ScanStats() ScanStats {
+	var out ScanStats
+	for i := range b.ts {
+		out.Scans += b.ts[i].scans
+		out.Scanned += b.ts[i].scanned
+		out.Freed += b.ts[i].freed
+	}
+	return out
+}
+
+// Reservations exposes the reservation table (tests and diagnostics).
+func (b *base) Reservations() *epoch.Table { return b.res }
+
+// allocEpochs implements the alloc cadence of Figs. 4/5: bump the counter,
+// advance the epoch every EpochFreq allocations, allocate, stamp the birth
+// epoch. Used by every scheme that tags births (all but EBR, HP, NoMM).
+func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
+	ts := &b.ts[tid]
+	ts.allocCount++
+	if ts.allocCount%uint64(b.opts.EpochFreq) == 0 {
+		b.clock.Advance()
+	}
+	h, ok := b.mem.Alloc(tid)
+	if !ok {
+		// Last resort: reclaim our own garbage, then retry once.
+		drain(tid)
+		if h, ok = b.mem.Alloc(tid); !ok {
+			return mem.Nil
+		}
+	}
+	b.mem.SetBirth(h, b.clock.Now())
+	return h
+}
+
+// allocPlain allocates without epoch stamping (EBR, HP, NoMM).
+func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
+	h, ok := b.mem.Alloc(tid)
+	if !ok {
+		if drain != nil {
+			drain(tid)
+		}
+		if h, ok = b.mem.Alloc(tid); !ok {
+			return mem.Nil
+		}
+	}
+	return h
+}
+
+// retire implements the retire cadence shared by Figs. 2/4/5: stamp the
+// retire epoch, append to the thread-local list, scan every EmptyFreq
+// retirements via the scheme-specific drain.
+//
+// It also advances the global epoch every EpochFreq retirements. For EBR
+// this IS the paper's cadence (Fig. 2 lines 15–17). For the epoch-tagging
+// schemes it is a liveness addition beyond the paper, which advances only
+// in alloc (§3): a retire-heavy phase (e.g. draining a structure) performs
+// no allocations, so the epoch would freeze, every retired block's
+// interval would touch the current epoch, and nothing would ever be
+// reclaimed until some future allocation. Advancing on retirement cannot
+// weaken Theorem 2's robustness bound — it only reduces the number of
+// births per epoch.
+func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
+	if h.IsNil() {
+		panic("core: retire of nil handle")
+	}
+	h = h.Addr()
+	ts := &b.ts[tid]
+	e := b.clock.Now()
+	b.mem.SetRetireEpoch(h, e)
+	b.mem.MarkRetired(h)
+	ts.retired = append(ts.retired, retiredBlock{h: h, birth: b.mem.Birth(h), retire: e})
+	ts.unreclaimed.Store(int64(len(ts.retired)))
+	ts.retireCount++
+	if ts.retireCount%uint64(b.opts.EpochFreq) == 0 {
+		b.clock.Advance()
+	}
+	if ts.retireCount%uint64(b.opts.EmptyFreq) == 0 {
+		drain(tid)
+	}
+}
+
+// scan walks tid's retire list, freeing every block for which canFree
+// returns true; it is the skeleton of every empty() in the paper.
+func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
+	ts := &b.ts[tid]
+	ts.scans++
+	ts.scanned += uint64(len(ts.retired))
+	kept := ts.retired[:0]
+	for _, rb := range ts.retired {
+		if canFree(rb) {
+			b.mem.Free(tid, rb.h)
+			ts.freed++
+		} else {
+			kept = append(kept, rb)
+		}
+	}
+	// Zero the tail so freed entries do not linger in the backing array.
+	for i := len(kept); i < len(ts.retired); i++ {
+		ts.retired[i] = retiredBlock{}
+	}
+	ts.retired = kept
+	ts.unreclaimed.Store(int64(len(kept)))
+}
+
+// intervalConflict is the conflict test of Fig. 5 line 26 against a
+// snapshot of reservation intervals: block protected iff some interval
+// [lo,hi] satisfies birth <= hi && retire >= lo. The snapshot is taken once
+// per scan; each interval was published by its thread, and any thread that
+// read a pointer to a scanned block before its retirement had already
+// published a covering interval, so a snapshot sees it.
+type interval struct{ lo, hi uint64 }
+
+func (b *base) snapshotIntervals(buf []interval) []interval {
+	buf = buf[:0]
+	for i := 0; i < b.res.Len(); i++ {
+		r := b.res.At(i)
+		lo, hi := r.Lower(), r.Upper()
+		if lo == epoch.None && hi == epoch.None {
+			continue
+		}
+		buf = append(buf, interval{lo, hi})
+	}
+	return buf
+}
+
+// snapshotIntervalsInto snapshots into tid's scratch buffer.
+func (b *base) snapshotIntervalsInto(tid int) []interval {
+	b.ts[tid].ivScratch = b.snapshotIntervals(b.ts[tid].ivScratch)
+	return b.ts[tid].ivScratch
+}
+
+func conflicts(ivs []interval, birth, retire uint64) bool {
+	for _, iv := range ivs {
+		if birth <= iv.hi && retire >= iv.lo {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedContains reports whether x occurs in the sorted slice s.
+func sortedContains(s []uint64, x uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// TotalUnreclaimed sums Unreclaimed over all threads.
+func TotalUnreclaimed(s Scheme, threads int) int {
+	total := 0
+	for tid := 0; tid < threads; tid++ {
+		total += s.Unreclaimed(tid)
+	}
+	return total
+}
+
+// DrainAll forces a scan on every thread id; used at shutdown and in tests.
+// It must be called only when no operations are in flight.
+func DrainAll(s Scheme, threads int) {
+	for tid := 0; tid < threads; tid++ {
+		s.Drain(tid)
+	}
+}
+
+// New constructs a scheme by registry name over the given Memory.
+// Names: "none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa",
+// "tagibr-wcas", "tagibr-tpa", "2geibr".
+func New(name string, m Memory, o Options) (Scheme, error) {
+	switch name {
+	case "none", "nomm":
+		return NewNoMM(m, o), nil
+	case "ebr", "epoch":
+		return NewEBR(m, o), nil
+	case "hp":
+		return NewHP(m, o), nil
+	case "he":
+		return NewHE(m, o), nil
+	case "poibr":
+		return NewPOIBR(m, o), nil
+	case "tagibr":
+		return NewTagIBR(m, o, TagCAS), nil
+	case "tagibr-faa":
+		return NewTagIBR(m, o, TagFAA), nil
+	case "tagibr-wcas":
+		return NewTagIBR(m, o, TagWCAS), nil
+	case "tagibr-tpa":
+		return NewTagIBR(m, o, TagTPA), nil
+	case "2geibr", "2ge":
+		return NewTwoGE(m, o), nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Names lists every registered scheme name in the order the paper's plots
+// use (NoMM first, then the baselines, then the IBR family).
+func Names() []string {
+	return []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa", "tagibr-wcas", "tagibr-tpa", "2geibr"}
+}

@@ -1,0 +1,5 @@
+package core
+
+// TransferSlot is a no-op for schemes without per-slot protection (all
+// epoch- and interval-based schemes); HP and HE override it.
+func (b *base) TransferSlot(tid, from, to int) {}

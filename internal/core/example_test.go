@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ibr/internal/core"
+	"ibr/internal/mem"
+)
+
+type node struct {
+	value uint64
+	next  core.Ptr
+}
+
+// Example shows the Fig. 1 lifecycle on a bare scheme: allocate, publish,
+// protect with a read, detach, retire — and observe that reclamation waits
+// for the reader.
+func Example() {
+	pool := mem.New[node](mem.Options[node]{Threads: 2})
+	scheme, _ := core.New("tagibr", pool, core.Options{Threads: 2})
+
+	var shared core.Ptr
+
+	// Writer (thread 0): allocate, initialize, publish.
+	h := scheme.Alloc(0)
+	pool.Get(h).value = 42
+	scheme.Write(0, &shared, h)
+
+	// Reader (thread 1): protected read inside an operation.
+	scheme.StartOp(1)
+	got := scheme.Read(1, 0, &shared)
+	fmt.Println("reader sees:", pool.Get(got).value)
+
+	// Writer detaches and retires; the block must survive the reader.
+	scheme.Write(0, &shared, mem.Nil)
+	scheme.Retire(0, h)
+	scheme.Drain(0)
+	fmt.Println("freed while reader active:", pool.State(h) == mem.StateFree)
+
+	// Reader finishes; now the scan reclaims.
+	scheme.EndOp(1)
+	scheme.Drain(0)
+	fmt.Println("freed after reader done: ", pool.State(h) == mem.StateFree)
+
+	// Output:
+	// reader sees: 42
+	// freed while reader active: false
+	// freed after reader done:  true
+}

@@ -1,0 +1,13 @@
+package core
+
+// TransferSlot copies the hazard in slot from into slot to: the node stays
+// continuously protected across a role change, so no re-validation is
+// needed.
+func (s *HP) TransferSlot(tid, from, to int) {
+	s.haz[tid][to].v.Store(s.haz[tid][from].v.Load())
+}
+
+// TransferSlot copies the era in slot from into slot to.
+func (s *HE) TransferSlot(tid, from, to int) {
+	s.eras[tid][to].v.Store(s.eras[tid][from].v.Load())
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"ibr/internal/mem"
+)
+
+// This file exhaustively enumerates interleavings of a reader's and an
+// adversary's scheme-API calls (each call taken as an atomic step) and
+// checks the central protection invariant in every ordering: once the
+// reader's protected Read has returned a handle, that block must not be
+// freed until the reader ends its operation. Stress tests sample this
+// space; here we cover it completely at API granularity.
+
+// step is one atomic action in a scripted thread.
+type step func()
+
+// interleave enumerates all merge orders of a and b, calling run for each
+// with the merged script. C(len(a)+len(b), len(a)) executions.
+func interleave(a, b []int, prefix []int, visit func([]int)) {
+	if len(a) == 0 && len(b) == 0 {
+		visit(prefix)
+		return
+	}
+	if len(a) > 0 {
+		interleave(a[1:], b, append(prefix, a[0]), visit)
+	}
+	if len(b) > 0 {
+		interleave(a, b[1:], append(prefix, b[0]), visit)
+	}
+}
+
+// TestInterleavedProtectionInvariant: reader = StartOp, Read, (hold), EndOp;
+// adversary = detach, Retire, Drain, Drain. In every interleaving, the
+// handle the reader got from Read (if any) must stay un-freed until the
+// reader's EndOp has executed.
+func TestInterleavedProtectionInvariant(t *testing.T) {
+	for _, name := range reclaimers() {
+		t.Run(name, func(t *testing.T) {
+			// Script step ids: reader 0..2, adversary 10..12.
+			readerScript := []int{0, 1, 2}     // StartOp; Read; EndOp
+			advScript := []int{10, 11, 12, 13} // detach; retire; drain; drain
+			count := 0
+			interleave(readerScript, advScript, nil, func(order []int) {
+				count++
+				r := newRig(t, name, 2)
+				s := r.scheme
+				var root Ptr
+				h := s.Alloc(1)
+				r.pool.Get(h).key = 77
+				s.Write(1, &root, h)
+
+				var got mem.Handle
+				readerInOp := false
+				readerDone := false
+
+				steps := map[int]step{
+					0: func() { s.StartOp(0); readerInOp = true },
+					1: func() {
+						if readerInOp {
+							got = s.ReadRoot(0, 0, &root)
+						}
+					},
+					2: func() { s.EndOp(0); readerDone = true },
+					10: func() {
+						s.StartOp(1)
+						s.Write(1, &root, mem.Nil)
+						s.EndOp(1)
+					},
+					11: func() { s.StartOp(1); s.Retire(1, h); s.EndOp(1) },
+					12: func() { s.Drain(1) },
+					13: func() { s.Drain(1) },
+				}
+				for _, id := range order {
+					steps[id]()
+					// Invariant: while the reader holds a non-nil protected
+					// handle and has not ended its op, the block is not free.
+					if !readerDone && !got.IsNil() && got.SameAddr(h) {
+						if r.pool.State(h) == mem.StateFree {
+							t.Fatalf("order %v: block freed while reader (in-op) held it", order)
+						}
+						if r.pool.Get(got).key != 77 {
+							t.Fatalf("order %v: payload clobbered under protection", order)
+						}
+					}
+				}
+				// Quiescent close-out: everything must now drain.
+				s.Drain(1)
+				if r.pool.State(h) != mem.StateFree {
+					t.Fatalf("order %v: block not reclaimed at quiescence", order)
+				}
+			})
+			if count != 35 { // C(7,3)
+				t.Fatalf("enumerated %d interleavings, want 35", count)
+			}
+		})
+	}
+}
+
+// TestInterleavedTwoReaders: two readers and one adversary; the block must
+// survive until BOTH readers finished, in every interleaving.
+func TestInterleavedTwoReaders(t *testing.T) {
+	for _, name := range []string{"ebr", "hp", "he", "tagibr", "tagibr-wcas", "2geibr"} {
+		t.Run(name, func(t *testing.T) {
+			r1Script := []int{0, 1, 2}
+			mixed := []int{10, 11, 12, 20, 21, 22} // adversary interleaved with reader2 (fixed relative order)
+			interleave(r1Script, mixed, nil, func(order []int) {
+				r := newRig(t, name, 3)
+				s := r.scheme
+				var root Ptr
+				h := s.Alloc(2)
+				s.Write(2, &root, h)
+
+				var got1, got2 mem.Handle
+				done1, done2 := false, false
+				steps := map[int]step{
+					0:  func() { s.StartOp(0) },
+					1:  func() { got1 = s.ReadRoot(0, 0, &root) },
+					2:  func() { s.EndOp(0); done1 = true },
+					10: func() { s.StartOp(1) },
+					11: func() { got2 = s.ReadRoot(1, 0, &root) },
+					12: func() { s.EndOp(1); done2 = true },
+					20: func() { s.Write(2, &root, mem.Nil) },
+					21: func() { s.Retire(2, h) },
+					22: func() { s.Drain(2) },
+				}
+				for _, id := range order {
+					steps[id]()
+					held := (!done1 && got1.SameAddr(h) && !got1.IsNil()) ||
+						(!done2 && got2.SameAddr(h) && !got2.IsNil())
+					if held && r.pool.State(h) == mem.StateFree {
+						t.Fatalf("order %v: freed while a reader held it", order)
+					}
+				}
+				s.Drain(2)
+				if r.pool.State(h) != mem.StateFree {
+					t.Fatalf("order %v: not reclaimed at quiescence", order)
+				}
+			})
+		})
+	}
+}

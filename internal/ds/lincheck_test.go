@@ -1,0 +1,75 @@
+package ds
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ibr/internal/lincheck"
+)
+
+// TestLinearizability records real concurrent histories on a small shared
+// key set and verifies each key's history against the sequential
+// set-register spec with the lincheck DFS. Unlike the disjoint-key model
+// tests, this validates *contended* interleavings — the place where an
+// unsound reclamation scheme manifests as stale reads or lost updates.
+// Histories are kept short (per round) so every key's history is
+// conclusively checkable.
+func TestLinearizability(t *testing.T) {
+	const (
+		threads     = 3
+		keys        = 4
+		opsPerRound = 4
+		rounds      = 150
+	)
+	for _, structure := range mapStructures {
+		for _, scheme := range []string{"none", "ebr", "hp", "tagibr", "tagibr-wcas", "2geibr"} {
+			if !SchemeSupports(scheme, structure) {
+				continue
+			}
+			t.Run(structure+"/"+scheme, func(t *testing.T) {
+				m := newTestMap(t, structure, scheme, threads)
+				present := map[uint64]bool{}
+				for round := 0; round < rounds; round++ {
+					rec := lincheck.NewRecorder(threads)
+					var wg sync.WaitGroup
+					for tid := 0; tid < threads; tid++ {
+						wg.Add(1)
+						go func(tid int) {
+							defer wg.Done()
+							rng := rand.New(rand.NewSource(int64(round*threads + tid)))
+							for i := 0; i < opsPerRound; i++ {
+								key := uint64(rng.Intn(keys))
+								t0 := rec.Begin()
+								switch rng.Intn(3) {
+								case 0:
+									ok := m.Insert(tid, key, key)
+									rec.Record(tid, lincheck.Insert, key, ok, t0)
+								case 1:
+									ok := m.Remove(tid, key)
+									rec.Record(tid, lincheck.Remove, key, ok, t0)
+								default:
+									_, ok := m.Get(tid, key)
+									rec.Record(tid, lincheck.Get, key, ok, t0)
+								}
+							}
+						}(tid)
+					}
+					wg.Wait()
+					rep := lincheck.Check(rec.Events(), func(k uint64) bool { return present[k] })
+					if err := rep.Err(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if rep.Inconclusive > 0 {
+						t.Fatalf("round %d: %d keys inconclusive (history too long)", round, rep.Inconclusive)
+					}
+					// Refresh the quiescent state for the next round.
+					for k := uint64(0); k < keys; k++ {
+						_, ok := m.Get(0, k)
+						present[k] = ok
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package ds
+
+import (
+	"sort"
+
+	"ibr/internal/core"
+	"ibr/internal/mem"
+)
+
+// listNode is a Harris–Michael list node. The mark bit of §9.8 of Herlihy &
+// Shavit (Harris's "logical deletion") lives in the *next pointer's* mark0
+// bit, as in the original algorithms: a node whose next pointer is marked
+// is logically deleted.
+type listNode struct {
+	key, val uint64
+	next     core.Ptr
+}
+
+// listPoison plants an impossible key so any traversal through a freed node
+// is caught by tests (application keys are < KeyLimit).
+func listPoison(n *listNode) { n.key = ^uint64(0); n.val = ^uint64(0) }
+
+// listCore implements the Harris–Michael ordered-list algorithm over an
+// arbitrary head pointer. It backs both the List structure (one head) and
+// Michael's hash map (one head per bucket), mirroring how the paper's
+// artifact composes them.
+//
+// Protection-slot discipline (HP/HE): slot 0 guards prev, slot 1 guards
+// curr, slot 2 guards next; slots rotate as the traversal advances. Every
+// other scheme ignores the slot numbers.
+type listCore struct {
+	pool *mem.Pool[listNode]
+	s    core.Scheme
+}
+
+// Protection slot roles for the list traversal.
+const (
+	slotPrev = 0
+	slotCurr = 1
+	slotNext = 2
+)
+
+// restartThreshold is the §4.3.1 starvation bound: after this many failed
+// CAS/validation retries an operation renews its reservation (RestartOp)
+// before restarting from the head.
+const restartThreshold = 16
+
+// findResult carries the window returned by find: prev is the pointer cell
+// whose target is curr (or would be, for an insertion point).
+type findResult struct {
+	prev  *core.Ptr
+	curr  mem.Handle // unmarked
+	found bool
+	// slot indices protecting prev's node and curr after rotation
+	prevSlot, currSlot, nextSlot int
+}
+
+// find locates the window (prev, curr) for key per Michael's algorithm:
+// curr is the first unmarked node with curr.key >= key. It unlinks (and
+// retires) any marked nodes it encounters. fails counts retries for the
+// RestartOp cadence and persists across restarts within one operation.
+func (lc *listCore) find(tid int, head *core.Ptr, key uint64, fails *int) findResult {
+	s := lc.s
+retry:
+	if *fails >= restartThreshold {
+		*fails = 0
+		s.RestartOp(tid)
+	}
+	pp, cc, nn := slotPrev, slotCurr, slotNext
+	prev := head
+	curr := s.ReadRoot(tid, cc, prev).ClearMarks()
+	for {
+		if curr.IsNil() {
+			return findResult{prev: prev, curr: mem.Nil, found: false, prevSlot: pp, currSlot: cc, nextSlot: nn}
+		}
+		currNode := lc.pool.Get(curr)
+		next := s.Read(tid, nn, &currNode.next)
+		// Validate: prev must still point to curr, unmarked. A raw load
+		// suffices — the value is only compared, never dereferenced.
+		if pv := prev.Raw(); pv.Mark0() || pv.ClearMarks() != curr {
+			*fails++
+			goto retry
+		}
+		if next.Mark0() {
+			// curr is logically deleted: unlink it. Whoever wins the CAS
+			// owns the retirement.
+			if !s.CompareAndSwap(tid, prev, curr, next.ClearMarks()) {
+				*fails++
+				goto retry
+			}
+			s.Retire(tid, curr)
+			curr = next.ClearMarks()
+			cc, nn = nn, cc // next's protection slot now guards curr
+			continue
+		}
+		if k := currNode.key; k >= key {
+			return findResult{prev: prev, curr: curr, found: k == key, prevSlot: pp, currSlot: cc, nextSlot: nn}
+		}
+		prev = &currNode.next
+		pp, cc, nn = cc, nn, pp // rotate: curr becomes prev, next slot is reused
+		curr = next.ClearMarks()
+	}
+}
+
+// insert adds key→val into the list at head.
+func (lc *listCore) insert(tid int, head *core.Ptr, key, val uint64) bool {
+	s := lc.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	node := mem.Nil
+	fails := 0
+	for {
+		r := lc.find(tid, head, key, &fails)
+		if r.found {
+			if !node.IsNil() {
+				lc.pool.Free(tid, node) // never published
+			}
+			return false
+		}
+		if node.IsNil() {
+			node = s.Alloc(tid)
+			if node.IsNil() {
+				return false // allocator exhausted; fail the operation
+			}
+			n := lc.pool.Get(node)
+			n.key, n.val = key, val
+		}
+		// Link our private node to the window, then publish.
+		s.Write(tid, &lc.pool.Get(node).next, r.curr)
+		if s.CompareAndSwap(tid, r.prev, r.curr, node) {
+			return true
+		}
+		fails++
+	}
+}
+
+// remove deletes key from the list at head.
+func (lc *listCore) remove(tid int, head *core.Ptr, key uint64) bool {
+	s := lc.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	fails := 0
+	for {
+		r := lc.find(tid, head, key, &fails)
+		if !r.found {
+			return false
+		}
+		currNode := lc.pool.Get(r.curr)
+		next := s.Read(tid, r.nextSlot, &currNode.next)
+		if next.Mark0() {
+			// Another remover beat us to the logical delete.
+			fails++
+			continue
+		}
+		// Logical delete: mark curr's next pointer.
+		if !s.CompareAndSwap(tid, &currNode.next, next, next.WithMark0()) {
+			fails++
+			continue
+		}
+		// Physical unlink; on failure a later find will clean up (and that
+		// find's thread will retire the node).
+		if s.CompareAndSwap(tid, r.prev, r.curr, next.ClearMarks()) {
+			s.Retire(tid, r.curr)
+		}
+		return true
+	}
+}
+
+// get looks key up in the list at head. It reuses find, so it helps unlink
+// marked nodes like the artifact's Michael-list contains.
+func (lc *listCore) get(tid int, head *core.Ptr, key uint64) (uint64, bool) {
+	s := lc.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	fails := 0
+	r := lc.find(tid, head, key, &fails)
+	if !r.found {
+		return 0, false
+	}
+	return lc.pool.Get(r.curr).val, true
+}
+
+// fill bulk-loads sorted unique pairs into an empty chain at head,
+// single-threaded. Links are written through the scheme so TagIBR tags and
+// WCAS packed epochs are consistent.
+func (lc *listCore) fill(head *core.Ptr, pairs []KV) {
+	s := lc.s
+	prev := head
+	for _, kv := range pairs {
+		h := s.Alloc(0)
+		if h.IsNil() {
+			panic("ds: pool exhausted during Fill")
+		}
+		n := lc.pool.Get(h)
+		n.key, n.val = kv.Key, kv.Val
+		s.Write(0, &n.next, mem.Nil)
+		s.Write(0, prev, h)
+		prev = &n.next
+	}
+}
+
+// keys walks the chain at quiescence, returning unmarked keys in order.
+func (lc *listCore) keys(head *core.Ptr, out []uint64) []uint64 {
+	for h := head.Raw().ClearMarks(); !h.IsNil(); {
+		n := lc.pool.Get(h)
+		next := n.next.Raw()
+		if !next.Mark0() { // skip logically deleted stragglers
+			out = append(out, n.key)
+		}
+		h = next.ClearMarks()
+	}
+	return out
+}
+
+// List is the Harris–Michael sorted linked list (§5 "ordered list of Harris
+// and Michael"): the paper's pointer-chasing-heavy workload, where TagIBR's
+// cheap reads shine against hazard pointers.
+type List struct {
+	lc   listCore
+	head core.Ptr
+}
+
+// NewList builds a list running under cfg.Scheme.
+func NewList(cfg Config) (*List, error) {
+	popt := mem.Options[listNode]{Threads: cfg.Core.Threads, MaxSlots: cfg.PoolSlots}
+	if cfg.Poison {
+		popt.Poison = listPoison
+	}
+	pool := mem.New[listNode](popt)
+	s, err := core.New(cfg.Scheme, pool, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &List{lc: listCore{pool: pool, s: s}}, nil
+}
+
+// Name returns "list".
+func (l *List) Name() string { return "list" }
+
+// Insert adds key→val; false if present.
+func (l *List) Insert(tid int, key, val uint64) bool { return l.lc.insert(tid, &l.head, key, val) }
+
+// Remove deletes key; false if absent.
+func (l *List) Remove(tid int, key uint64) bool { return l.lc.remove(tid, &l.head, key) }
+
+// Get returns the value bound to key.
+func (l *List) Get(tid int, key uint64) (uint64, bool) { return l.lc.get(tid, &l.head, key) }
+
+// Fill bulk-loads pairs (single-threaded).
+func (l *List) Fill(pairs []KV) {
+	sorted := append([]KV(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	dedup := sorted[:0]
+	for i, kv := range sorted {
+		if i == 0 || kv.Key != sorted[i-1].Key {
+			dedup = append(dedup, kv)
+		}
+	}
+	l.lc.fill(&l.head, dedup)
+}
+
+// Keys returns the ascending key set (quiescence only).
+func (l *List) Keys() []uint64 { return l.lc.keys(&l.head, nil) }
+
+// Scheme exposes the reclamation scheme.
+func (l *List) Scheme() core.Scheme { return l.lc.s }
+
+// PoolStats exposes allocator counters.
+func (l *List) PoolStats() mem.Stats { return l.lc.pool.Stats() }
+
+// Range calls fn in ascending key order for every pair with from <= key <=
+// to. Unlike the Bonsai tree's snapshot Range, a mutable list offers only
+// a weakly consistent scan: keys inserted or removed while the scan runs
+// may or may not be observed, but every key untouched during the scan is
+// reported exactly once, and the traversal is reclamation-safe under any
+// scheme. fn returning false stops the scan.
+func (l *List) Range(tid int, from, to uint64, fn func(key, val uint64) bool) {
+	s := l.lc.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	lo := from // resume cursor: never re-emit a key after a restart
+	pp, cc, nn := slotPrev, slotCurr, slotNext
+	prev := &l.head
+	curr := s.ReadRoot(tid, cc, prev).ClearMarks()
+	for !curr.IsNil() {
+		node := l.lc.pool.Get(curr)
+		next := s.Read(tid, nn, &node.next)
+		if pv := prev.Raw(); pv.Mark0() || pv.ClearMarks() != curr {
+			// Window changed under us: restart from the head (weakly
+			// consistent, like Michael's unlink-helping traversals); the
+			// cursor guarantees each key is emitted at most once.
+			pp, cc, nn = slotPrev, slotCurr, slotNext
+			prev = &l.head
+			curr = s.ReadRoot(tid, cc, prev).ClearMarks()
+			continue
+		}
+		if !next.Mark0() { // skip logically deleted nodes
+			k := node.key
+			if k > to {
+				return
+			}
+			if k >= lo {
+				if !fn(k, node.val) {
+					return
+				}
+				lo = k + 1
+			}
+		}
+		prev = &node.next
+		pp, cc, nn = cc, nn, pp
+		curr = next.ClearMarks()
+	}
+	_ = pp
+}

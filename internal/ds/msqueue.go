@@ -1,0 +1,122 @@
+package ds
+
+import (
+	"ibr/internal/core"
+	"ibr/internal/mem"
+)
+
+// Queue is the Michael–Scott lock-free FIFO queue, an extra rideable beyond
+// the paper's four (its authors' artifact ships one too). It exercises a
+// different reclamation pattern from the search structures: every dequeue
+// retires the old dummy node, so the retire rate equals the operation rate.
+// Not persistent (the tail node's next field mutates), so POIBR does not
+// apply.
+type Queue struct {
+	pool *mem.Pool[queueNode]
+	s    core.Scheme
+	head core.Ptr // dummy node
+	tail core.Ptr
+}
+
+type queueNode struct {
+	val  uint64
+	next core.Ptr
+}
+
+// NewQueue builds a Michael–Scott queue running under cfg.Scheme.
+func NewQueue(cfg Config) (*Queue, error) {
+	popt := mem.Options[queueNode]{Threads: cfg.Core.Threads, MaxSlots: cfg.PoolSlots}
+	if cfg.Poison {
+		popt.Poison = func(n *queueNode) { n.val = ^uint64(0) }
+	}
+	pool := mem.New[queueNode](popt)
+	s, err := core.New(cfg.Scheme, pool, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{pool: pool, s: s}
+	dummy := s.Alloc(0)
+	pool.Get(dummy).val = 0
+	s.Write(0, &pool.Get(dummy).next, mem.Nil)
+	s.Write(0, &q.head, dummy)
+	s.Write(0, &q.tail, dummy)
+	return q, nil
+}
+
+// Name returns "msqueue".
+func (q *Queue) Name() string { return "msqueue" }
+
+// Enqueue appends val. It returns false only on pool exhaustion.
+func (q *Queue) Enqueue(tid int, val uint64) bool {
+	s := q.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.Alloc(tid)
+	if h.IsNil() {
+		return false
+	}
+	n := q.pool.Get(h)
+	n.val = val
+	s.Write(tid, &n.next, mem.Nil)
+	for {
+		tail := s.Read(tid, 0, &q.tail)
+		tn := q.pool.Get(tail)
+		next := s.Read(tid, 1, &tn.next)
+		if q.tail.Raw() != tail {
+			continue // tail moved while we looked
+		}
+		if !next.IsNil() {
+			// Tail lags: help swing it, then retry.
+			s.CompareAndSwap(tid, &q.tail, tail, next)
+			continue
+		}
+		if s.CompareAndSwap(tid, &tn.next, mem.Nil, h) {
+			s.CompareAndSwap(tid, &q.tail, tail, h) // ok to fail: someone helped
+			return true
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value.
+func (q *Queue) Dequeue(tid int) (uint64, bool) {
+	s := q.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	for {
+		head := s.Read(tid, 0, &q.head)
+		tail := s.Read(tid, 2, &q.tail)
+		hn := q.pool.Get(head)
+		next := s.Read(tid, 1, &hn.next)
+		if q.head.Raw() != head {
+			continue // head moved; re-read the triple
+		}
+		if head.SameAddr(tail) {
+			if next.IsNil() {
+				return 0, false // empty
+			}
+			// Tail lags behind a half-finished enqueue: help it.
+			s.CompareAndSwap(tid, &q.tail, tail, next)
+			continue
+		}
+		val := q.pool.Get(next).val
+		if s.CompareAndSwap(tid, &q.head, head, next) {
+			s.Retire(tid, head) // old dummy
+			return val, true
+		}
+	}
+}
+
+// Len counts queued values (quiescence only).
+func (q *Queue) Len() int {
+	n := 0
+	for h := q.pool.Get(q.head.Raw()).next.Raw(); !h.IsNil(); h = q.pool.Get(h).next.Raw() {
+		n++
+	}
+	return n
+}
+
+// Scheme exposes the reclamation scheme.
+func (q *Queue) Scheme() core.Scheme { return q.s }
+
+// PoolStats exposes allocator counters.
+func (q *Queue) PoolStats() mem.Stats { return q.pool.Stats() }

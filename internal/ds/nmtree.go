@@ -1,0 +1,414 @@
+package ds
+
+import (
+	"ibr/internal/core"
+	"ibr/internal/mem"
+)
+
+// NMTree is the lock-free external binary search tree of Natarajan and
+// Mittal (PPoPP 2014), the third rideable of the IBR paper's evaluation
+// (§5). Keys live in leaves; internal nodes route. Updates synchronize on
+// *edges*: a delete first FLAGs the edge to its victim leaf (injection),
+// then TAGs the edge to the sibling and swings the deepest clean ancestor
+// edge over the whole doomed chain (cleanup). Mark bit 0 of a child pointer
+// is the FLAG; mark bit 1 is the TAG.
+//
+// One deliberate improvement over the paper's artifact: when a cleanup CAS
+// wins, this implementation retires the *entire* detached fragment (the
+// tagged chain from successor down to parent plus every flagged leaf
+// hanging off it), not just parent and leaf. Overlapping deletes otherwise
+// leak the inner nodes of the chain; owning the fragment is safe because
+// every edge inside it is tagged or flagged, so no other CAS can succeed
+// there (the winner has exclusive custody).
+type NMTree struct {
+	pool *mem.Pool[nmNode]
+	s    core.Scheme
+	// Sentinel internals R (key infinity2) and S (key infinity1); fixed,
+	// never retired. All application keys are < infinity1, so every seek
+	// descends R -> S -> S.left subtree.
+	rootR, rootS mem.Handle
+}
+
+// nmNode is a tree node; isLeaf is immutable after publication.
+type nmNode struct {
+	key    uint64
+	val    uint64
+	isLeaf uint32
+	left   core.Ptr
+	right  core.Ptr
+}
+
+func nmPoison(n *nmNode) { n.key = ^uint64(0); n.val = ^uint64(0) }
+
+// Sentinel keys: infinity1 < infinity2, both above every application key.
+const (
+	nmInf1 = KeyLimit
+	nmInf2 = KeyLimit + 1
+)
+
+// Protection slot roles for the tree (HP/HE). slotHold keeps the victim
+// leaf protected across the re-seeks of a delete's cleanup phase.
+const (
+	nmSlotAnc  = 0
+	nmSlotSuc  = 1
+	nmSlotPar  = 2
+	nmSlotLeaf = 3
+	nmSlotCur  = 4
+	nmSlotHold = 5
+)
+
+// NewNMTree builds a Natarajan–Mittal tree running under cfg.Scheme.
+func NewNMTree(cfg Config) (*NMTree, error) {
+	popt := mem.Options[nmNode]{Threads: cfg.Core.Threads, MaxSlots: cfg.PoolSlots}
+	if cfg.Poison {
+		popt.Poison = nmPoison
+	}
+	pool := mem.New[nmNode](popt)
+	s, err := core.New(cfg.Scheme, pool, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	t := &NMTree{pool: pool, s: s}
+
+	// Initial shape (single-threaded): R(inf2){S, leaf(inf2)},
+	// S(inf1){leaf(inf1), leaf(inf2)}.
+	leaf := func(key uint64) mem.Handle {
+		h := s.Alloc(0)
+		n := pool.Get(h)
+		n.key, n.val, n.isLeaf = key, 0, 1
+		s.Write(0, &n.left, mem.Nil)
+		s.Write(0, &n.right, mem.Nil)
+		return h
+	}
+	t.rootS = s.Alloc(0)
+	sn := pool.Get(t.rootS)
+	sn.key, sn.isLeaf = nmInf1, 0
+	s.Write(0, &sn.left, leaf(nmInf1))
+	s.Write(0, &sn.right, leaf(nmInf2))
+	t.rootR = s.Alloc(0)
+	rn := pool.Get(t.rootR)
+	rn.key, rn.isLeaf = nmInf2, 0
+	s.Write(0, &rn.left, t.rootS)
+	s.Write(0, &rn.right, leaf(nmInf2))
+	return t, nil
+}
+
+// nmSeek is the seek record: handles are mark-free but may carry a packed
+// epoch (TagIBR-WCAS), so comparisons use SameAddr and CAS expectations use
+// the handle exactly as read.
+type nmSeek struct {
+	ancestor, successor, parent, leaf mem.Handle
+}
+
+// childOf returns the child field of internal node n on key's side.
+func childOf(n *nmNode, key uint64) *core.Ptr {
+	if key < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+// seek walks from the sentinels to the leaf on key's search path,
+// maintaining the Natarajan–Mittal invariant: (ancestor → successor) is the
+// deepest clean (untagged) edge seen on the path, and parent is leaf's
+// parent. Protection slots are transferred as roles shift, so every
+// recorded node stays protected.
+func (t *NMTree) seek(tid int, key uint64) nmSeek {
+	s := t.s
+	r := nmSeek{ancestor: t.rootR, successor: t.rootS, parent: t.rootS}
+	sn := t.pool.Get(t.rootS)
+	// Edge S -> S.left: sentinel edges are never tagged or flagged.
+	parentField := s.Read(tid, nmSlotLeaf, &sn.left)
+	r.leaf = parentField.ClearMarks()
+	for {
+		node := t.pool.Get(r.leaf)
+		if node.isLeaf == 1 {
+			return r
+		}
+		cf := s.Read(tid, nmSlotCur, childOf(node, key))
+		// Advance: leaf becomes parent; if the edge into it was untagged it
+		// also becomes the successor (with its parent as ancestor).
+		if !parentField.Mark1() {
+			r.ancestor = r.parent
+			s.TransferSlot(tid, nmSlotPar, nmSlotAnc)
+			r.successor = r.leaf
+			s.TransferSlot(tid, nmSlotLeaf, nmSlotSuc)
+		}
+		r.parent = r.leaf
+		s.TransferSlot(tid, nmSlotLeaf, nmSlotPar)
+		r.leaf = cf.ClearMarks()
+		s.TransferSlot(tid, nmSlotCur, nmSlotLeaf)
+		parentField = cf
+	}
+}
+
+// cleanup attempts to physically remove the delete operation injected at
+// sr's parent/leaf window (ours or another thread's — callers use it to
+// help). It returns true iff this call's CAS performed the removal.
+func (t *NMTree) cleanup(tid int, key uint64, sr nmSeek) bool {
+	s := t.s
+	anc := t.pool.Get(sr.ancestor)
+	par := t.pool.Get(sr.parent)
+	succField := childOf(anc, key)
+	childAddr := childOf(par, key)
+	sibAddr := &par.left
+	if childAddr == &par.left {
+		sibAddr = &par.right
+	}
+	if !childAddr.Raw().Mark0() {
+		// Our side is not the flagged one: we are helping a delete whose
+		// victim is the other child.
+		childAddr, sibAddr = sibAddr, childAddr
+		if !childAddr.Raw().Mark0() {
+			// No injection on either edge (stale help request): tagging or
+			// swinging here could excise an innocent leaf. Bail out.
+			return false
+		}
+	}
+	// Freeze the sibling edge so the subtree we are about to relink cannot
+	// change underneath the swing.
+	sv := sibAddr.FetchOrMarks(mem.Mark1Bit).WithMark1()
+	// Swing the deepest clean ancestor edge over the doomed chain: the
+	// sibling is relinked in place of successor. The sibling edge's FLAG
+	// (if its leaf is itself under deletion) is preserved; the TAG is not
+	// copied — the new edge is a fresh, mutable one.
+	if !s.CompareAndSwap(tid, succField, sr.successor, sv.ClearMark1()) {
+		return false
+	}
+	t.retireFragment(tid, key, sr, childAddr)
+	return true
+}
+
+// retireFragment retires the chain detached by a winning cleanup CAS:
+// internal nodes from successor down to parent (inclusive) along key's
+// path, each flagged leaf hanging off it, and the victim leaf. Every edge
+// in the fragment is tagged or flagged, so no concurrent CAS can succeed
+// inside it: the winner owns every node and each is retired exactly once.
+//
+// The paper's well-behavedness proviso (§4.1) requires every shared pointer
+// to a block to be overwritten before the block is retired — otherwise a
+// reader already inside the fragment could pick up a pointer to a block
+// *after* its retire, which no lightweight scheme tolerates (validation
+// re-reads the source pointer, so it catches an overwrite but never a
+// retire of an unchanged target). We therefore redirect each fragment
+// node's child edges before retiring the children. The redirect target
+// must be a node that can NEVER be retired: these stale edges live forever
+// inside dead fragments, so pointing them at any reclaimable node (the
+// sibling, say) re-creates the violation the moment that node is deleted —
+// a parked reader would follow the stale edge to a freed slot and no
+// revalidation could tell. We use the sentinel S: a reader routed there
+// simply resumes its descent through live edges (an implicit restart), and
+// the tag bit on the redirect makes every clean-expecting CAS against a
+// detached edge fail, so no update can be lost into a dead fragment.
+func (t *NMTree) retireFragment(tid int, key uint64, sr nmSeek, victimAddr *core.Ptr) {
+	s := t.s
+	cur := sr.successor // incoming pointer already gone: the swing removed it
+	for !cur.SameAddr(sr.parent) {
+		n := t.pool.Get(cur)
+		onPath := childOf(n, key)
+		offPath := &n.left
+		if onPath == &n.left {
+			offPath = &n.right
+		}
+		// The off-path edge of a tagged-chain node is a flagged leaf —
+		// the victim of the delete that tagged our on-path edge.
+		next := onPath.Raw().ClearMarks()
+		off := offPath.Raw()
+		// Route readers to the immortal sentinel, then retire; children
+		// follow once their incoming edge is overwritten.
+		s.Write(tid, &n.left, t.rootS.WithMark1())
+		s.Write(tid, &n.right, t.rootS.WithMark1())
+		s.Retire(tid, cur)
+		if !off.IsNil() {
+			s.Retire(tid, off)
+		}
+		cur = next
+	}
+	// cur == parent: same dance; its children are the victim leaf and the
+	// sibling (which was just relinked — never retired).
+	v := victimAddr.Raw()
+	n := t.pool.Get(cur)
+	s.Write(tid, &n.left, t.rootS.WithMark1())
+	s.Write(tid, &n.right, t.rootS.WithMark1())
+	if !cur.SameAddr(t.rootS) { // never retire sentinels (defensive)
+		s.Retire(tid, cur)
+	}
+	if !v.IsNil() {
+		s.Retire(tid, v)
+	}
+}
+
+// Name returns "nmtree".
+func (t *NMTree) Name() string { return "nmtree" }
+
+// Get returns the value bound to key.
+func (t *NMTree) Get(tid int, key uint64) (uint64, bool) {
+	checkKey(key)
+	s := t.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	sr := t.seek(tid, key)
+	n := t.pool.Get(sr.leaf)
+	if n.key != key {
+		return 0, false
+	}
+	return n.val, true
+}
+
+// Insert adds key→val; false if present.
+func (t *NMTree) Insert(tid int, key, val uint64) bool {
+	checkKey(key)
+	s := t.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	newLeaf := mem.Nil
+	fails := 0
+	for {
+		if fails >= restartThreshold {
+			fails = 0
+			s.RestartOp(tid) // holds only private (unpublished) nodes
+		}
+		sr := t.seek(tid, key)
+		leafNode := t.pool.Get(sr.leaf)
+		if leafNode.key == key {
+			if !newLeaf.IsNil() {
+				t.pool.Free(tid, newLeaf)
+			}
+			return false
+		}
+		if newLeaf.IsNil() {
+			newLeaf = s.Alloc(tid)
+			if newLeaf.IsNil() {
+				return false
+			}
+			ln := t.pool.Get(newLeaf)
+			ln.key, ln.val, ln.isLeaf = key, val, 1
+			s.Write(tid, &ln.left, mem.Nil)
+			s.Write(tid, &ln.right, mem.Nil)
+		}
+		// Replace the leaf with internal{max(key, leaf.key)} routing to
+		// {new leaf, old leaf} in key order.
+		newInt := s.Alloc(tid)
+		if newInt.IsNil() {
+			t.pool.Free(tid, newLeaf)
+			return false
+		}
+		in := t.pool.Get(newInt)
+		in.isLeaf = 0
+		if key < leafNode.key {
+			in.key = leafNode.key
+			s.Write(tid, &in.left, newLeaf)
+			s.Write(tid, &in.right, sr.leaf)
+		} else {
+			in.key = key
+			s.Write(tid, &in.left, sr.leaf)
+			s.Write(tid, &in.right, newLeaf)
+		}
+		parNode := t.pool.Get(sr.parent)
+		childAddr := childOf(parNode, key)
+		if s.CompareAndSwap(tid, childAddr, sr.leaf, newInt) {
+			return true
+		}
+		// Failed: discard the internal (never published), help any delete
+		// stuck on this edge, retry.
+		t.pool.Free(tid, newInt)
+		fails++
+		if cf := childAddr.Raw(); cf.SameAddr(sr.leaf) && cf.Marks() != 0 {
+			t.cleanup(tid, key, sr)
+		}
+	}
+}
+
+// Remove deletes key; false if absent. It follows the paper's two-phase
+// protocol: INJECTION (flag the victim edge — the delete's linearization)
+// then CLEANUP (swing the ancestor edge; retried, with helping, until the
+// victim is observed gone).
+func (t *NMTree) Remove(tid int, key uint64) bool {
+	checkKey(key)
+	s := t.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	injecting := true
+	victim := mem.Nil
+	fails := 0
+	for {
+		sr := t.seek(tid, key)
+		if injecting {
+			if fails >= restartThreshold {
+				fails = 0
+				s.RestartOp(tid) // no references held in injection mode
+				continue
+			}
+			if t.pool.Get(sr.leaf).key != key {
+				return false
+			}
+			parNode := t.pool.Get(sr.parent)
+			childAddr := childOf(parNode, key)
+			if s.CompareAndSwap(tid, childAddr, sr.leaf, sr.leaf.WithMark0()) {
+				victim = sr.leaf
+				// Keep the victim protected across cleanup's re-seeks.
+				s.TransferSlot(tid, nmSlotLeaf, nmSlotHold)
+				injecting = false
+				if t.cleanup(tid, key, sr) {
+					return true
+				}
+			} else {
+				fails++
+				if cf := childAddr.Raw(); cf.SameAddr(sr.leaf) && cf.Marks() != 0 {
+					t.cleanup(tid, key, sr)
+				}
+			}
+		} else {
+			// Our flag is planted; the delete has logically happened. Keep
+			// cleaning until we win or someone else removed the victim.
+			if !sr.leaf.SameAddr(victim) {
+				return true
+			}
+			if t.cleanup(tid, key, sr) {
+				return true
+			}
+		}
+	}
+}
+
+// Fill bulk-loads pairs (single-threaded) through the normal insert path.
+func (t *NMTree) Fill(pairs []KV) {
+	for _, kv := range pairs {
+		t.Insert(0, kv.Key, kv.Val)
+	}
+}
+
+// Keys returns the ascending application key set (quiescence only).
+func (t *NMTree) Keys() []uint64 {
+	var out []uint64
+	var walk func(h mem.Handle)
+	walk = func(h mem.Handle) {
+		h = h.ClearMarks()
+		if h.IsNil() {
+			return
+		}
+		n := t.pool.Get(h)
+		if n.isLeaf == 1 {
+			if n.key < KeyLimit {
+				out = append(out, n.key)
+			}
+			return
+		}
+		walk(n.left.Raw())
+		walk(n.right.Raw())
+	}
+	walk(t.pool.Get(t.rootS).left.Raw())
+	return out
+}
+
+// Scheme exposes the reclamation scheme.
+func (t *NMTree) Scheme() core.Scheme { return t.s }
+
+// PoolStats exposes allocator counters.
+func (t *NMTree) PoolStats() mem.Stats { return t.pool.Stats() }
+
+func checkKey(key uint64) {
+	if key >= KeyLimit {
+		panic("ds: application keys must be below KeyLimit")
+	}
+}

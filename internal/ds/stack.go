@@ -1,0 +1,103 @@
+package ds
+
+import (
+	"ibr/internal/core"
+	"ibr/internal/mem"
+)
+
+// Stack is the Treiber lock-free stack (Treiber 1986), cited in §3.1 of the
+// paper as the simplest persistent data structure: nodes below the top are
+// immutable, and the only mutable pointer is the top-of-stack — so POIBR's
+// root-snapshot reservation protects everything a pop can touch.
+type Stack struct {
+	pool *mem.Pool[stackNode]
+	s    core.Scheme
+	top  core.Ptr
+}
+
+type stackNode struct {
+	val  uint64
+	next core.Ptr
+}
+
+// NewStack builds a Treiber stack running under cfg.Scheme.
+func NewStack(cfg Config) (*Stack, error) {
+	popt := mem.Options[stackNode]{Threads: cfg.Core.Threads, MaxSlots: cfg.PoolSlots}
+	if cfg.Poison {
+		popt.Poison = func(n *stackNode) { n.val = ^uint64(0) }
+	}
+	pool := mem.New[stackNode](popt)
+	s, err := core.New(cfg.Scheme, pool, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{pool: pool, s: s}, nil
+}
+
+// Name returns "stack".
+func (st *Stack) Name() string { return "stack" }
+
+// Push adds val to the top. It returns false only on pool exhaustion.
+func (st *Stack) Push(tid int, val uint64) bool {
+	s := st.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.Alloc(tid)
+	if h.IsNil() {
+		return false
+	}
+	n := st.pool.Get(h)
+	n.val = val
+	fails := 0
+	for {
+		top := s.ReadRoot(tid, 0, &st.top)
+		s.Write(tid, &n.next, top)
+		if s.CompareAndSwap(tid, &st.top, top, h) {
+			return true
+		}
+		if fails++; fails >= restartThreshold {
+			fails = 0
+			s.RestartOp(tid) // only the private node is held
+		}
+	}
+}
+
+// Pop removes and returns the top value.
+func (st *Stack) Pop(tid int) (uint64, bool) {
+	s := st.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	fails := 0
+	for {
+		top := s.ReadRoot(tid, 0, &st.top)
+		if top.IsNil() {
+			return 0, false
+		}
+		n := st.pool.Get(top)
+		next := s.Read(tid, 1, &n.next)
+		val := n.val
+		if s.CompareAndSwap(tid, &st.top, top, next) {
+			s.Retire(tid, top)
+			return val, true
+		}
+		if fails++; fails >= restartThreshold {
+			fails = 0
+			s.RestartOp(tid)
+		}
+	}
+}
+
+// Len counts nodes (quiescence only).
+func (st *Stack) Len() int {
+	n := 0
+	for h := st.top.Raw(); !h.IsNil(); h = st.pool.Get(h).next.Raw() {
+		n++
+	}
+	return n
+}
+
+// Scheme exposes the reclamation scheme.
+func (st *Stack) Scheme() core.Scheme { return st.s }
+
+// PoolStats exposes allocator counters.
+func (st *Stack) PoolStats() mem.Stats { return st.pool.Stats() }

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CSVHeader is the column list of the result format (the artifact's
+// "table in csv format").
+const CSVHeader = "experiment,structure,workload,scheme,threads,stalled,emptyfreq,duration_ms,ops,mops,avg_retired,allocs,frees,live"
+
+// WriteCSVHeader emits the header line.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, CSVHeader)
+	return err
+}
+
+// WriteCSVRow emits one result as a CSV line.
+func WriteCSVRow(w io.Writer, experiment string, r Result) error {
+	_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%.6f,%.2f,%d,%d,%d\n",
+		experiment, r.Structure, r.Workload, r.Scheme, r.Threads, r.Stalled,
+		r.EmptyFreq, r.Duration.Milliseconds(), r.Ops, r.Mops, r.AvgRetired,
+		r.Allocs, r.Frees, r.Live)
+	return err
+}
+
+// Series renders an ASCII table of one metric across the (scheme × threads)
+// grid — the stand-in for the artifact's R plots. metric selects "mops" or
+// "space".
+func Series(w io.Writer, title, metric string, results []Result) {
+	fmt.Fprintf(w, "# %s (%s)\n", title, metric)
+	schemes := make([]string, 0)
+	threads := make([]int, 0)
+	seenS := map[string]bool{}
+	seenT := map[int]bool{}
+	for _, r := range results {
+		if !seenS[r.Scheme] {
+			seenS[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+		if !seenT[r.Threads] {
+			seenT[r.Threads] = true
+			threads = append(threads, r.Threads)
+		}
+	}
+	sort.Ints(threads)
+	cell := map[string]float64{}
+	for _, r := range results {
+		v := r.Mops
+		if metric == "space" {
+			v = r.AvgRetired
+		}
+		cell[fmt.Sprintf("%s/%d", r.Scheme, r.Threads)] = v
+	}
+	fmt.Fprintf(w, "%-14s", "scheme\\thr")
+	for _, t := range threads {
+		fmt.Fprintf(w, "%12d", t)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 14+12*len(threads)))
+	for _, s := range schemes {
+		fmt.Fprintf(w, "%-14s", s)
+		for _, t := range threads {
+			if v, ok := cell[fmt.Sprintf("%s/%d", s, t)]; ok {
+				fmt.Fprintf(w, "%12.4f", v)
+			} else {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

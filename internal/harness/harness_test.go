@@ -1,0 +1,410 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quick(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Millisecond
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 512
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunBasics(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "ebr", Threads: 2})
+	if r.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if r.Mops <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	if len(r.PerThreadOps) != 2 {
+		t.Fatalf("PerThreadOps has %d entries, want 2", len(r.PerThreadOps))
+	}
+	if r.Allocs == 0 {
+		t.Fatal("no allocations recorded (prefill should allocate)")
+	}
+}
+
+func TestRunAllStructuresAllSchemes(t *testing.T) {
+	for _, structure := range []string{"list", "hashmap", "nmtree", "bonsai"} {
+		for _, scheme := range []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa", "tagibr-wcas", "2geibr"} {
+			cfg := Config{Structure: structure, Scheme: scheme, Threads: 2,
+				Duration: 15 * time.Millisecond, KeyRange: 256}
+			if _, err := cfg.withDefaults(); err != nil {
+				continue // unsupported combination: validated separately
+			}
+			t.Run(structure+"/"+scheme, func(t *testing.T) {
+				if r := quick(t, cfg); r.Ops == 0 {
+					t.Fatal("no operations completed")
+				}
+			})
+		}
+	}
+}
+
+func TestRunRejectsUnsupportedPairs(t *testing.T) {
+	for _, c := range []Config{
+		{Structure: "list", Scheme: "poibr", Threads: 1},
+		{Structure: "bonsai", Scheme: "hp", Threads: 1},
+		{Structure: "bonsai", Scheme: "he", Threads: 1},
+		{Structure: "", Scheme: "ebr"},
+		{Structure: "hashmap", Scheme: ""},
+	} {
+		if _, err := Run(c); err == nil {
+			t.Errorf("Run(%+v) should have failed", c)
+		}
+	}
+}
+
+func TestRunPrefillFraction(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "none", Threads: 1,
+		KeyRange: 4096, Prefill: 0.75, Duration: 10 * time.Millisecond})
+	// Prefill allocates one node per inserted key; with NoMM nothing is
+	// freed, so allocs >= prefill size.
+	if r.Allocs < 2800 { // E[prefill] = 3072; allow slack
+		t.Fatalf("allocs %d, expected roughly 3072 prefill nodes", r.Allocs)
+	}
+}
+
+func TestRunDeterministicPrefill(t *testing.T) {
+	a := quick(t, Config{Structure: "hashmap", Scheme: "none", Threads: 1,
+		KeyRange: 1024, Seed: 7, Duration: 5 * time.Millisecond})
+	b := quick(t, Config{Structure: "hashmap", Scheme: "none", Threads: 1,
+		KeyRange: 1024, Seed: 7, Duration: 5 * time.Millisecond})
+	// Same seed → same prefill; ops differ (timing) but the prefill
+	// allocation count must match exactly before workers start. We can't
+	// observe that directly post-run, so compare a stronger proxy: the
+	// number of distinct keys sampled is identical because both runs use
+	// the same generator. Weak but deterministic: prefill count parity via
+	// Live for NoMM minus op allocations is noisy, so just require both
+	// runs completed ops.
+	if a.Ops == 0 || b.Ops == 0 {
+		t.Fatal("runs made no progress")
+	}
+}
+
+// TestStalledThreadSpaceBlowup is the executable form of the paper's
+// headline robustness claim (Fig. 9 beyond 72 threads): with stalled
+// threads holding reservations, EBR's retired-but-unreclaimed count grows
+// far beyond any IBR's.
+func TestStalledThreadSpaceBlowup(t *testing.T) {
+	// Long stalls relative to the run keep the contrast visible even when
+	// the race detector slows churn ~10x: EBR's pile grows with
+	// retire-rate × stall-time, the IBRs' is bounded by the (small)
+	// structure, so the ratio survives any uniform slowdown.
+	run := func(scheme string) Result {
+		return quick(t, Config{
+			Structure: "hashmap", Scheme: scheme, Threads: 2,
+			Stalled: 2, StallFor: 150 * time.Millisecond,
+			Duration: 400 * time.Millisecond, KeyRange: 1024,
+		})
+	}
+	ebr := run("ebr")
+	tag := run("tagibr")
+	twoge := run("2geibr")
+	if ebr.AvgRetired < 2*tag.AvgRetired {
+		t.Errorf("EBR avg retired %.1f not >> TagIBR %.1f under stalls", ebr.AvgRetired, tag.AvgRetired)
+	}
+	if ebr.AvgRetired < 2*twoge.AvgRetired {
+		t.Errorf("EBR avg retired %.1f not >> 2GEIBR %.1f under stalls", ebr.AvgRetired, twoge.AvgRetired)
+	}
+}
+
+func TestExperimentsIndex(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 7 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+		if len(e.Schemes) == 0 || len(e.Threads) == 0 {
+			t.Errorf("experiment %s has empty sweep", e.ID)
+		}
+		for _, s := range e.Schemes {
+			if !dsSupports(s, e.Structure) {
+				t.Errorf("experiment %s lists unsupported scheme %s", e.ID, s)
+			}
+		}
+	}
+	for _, want := range []string{"fig8a", "fig8b", "fig8c", "fig8d", "fig10", "ksweep", "stall"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func dsSupports(scheme, structure string) bool {
+	cfg := Config{Structure: structure, Scheme: scheme, Threads: 1}
+	_, err := cfg.withDefaults()
+	return err == nil
+}
+
+func TestExperimentAliases(t *testing.T) {
+	for alias, wantID := range map[string]string{
+		"fig9a": "fig8a", "9c": "fig8c", "8b": "fig8b", "10": "fig10", "k": "ksweep",
+	} {
+		e, err := ExperimentByID(alias)
+		if err != nil || e.ID != wantID {
+			t.Errorf("ExperimentByID(%q) = %v, %v; want %s", alias, e.ID, err, wantID)
+		}
+	}
+	if _, err := ExperimentByID("fig99"); err == nil {
+		t.Error("unknown experiment id did not error")
+	}
+}
+
+func TestCellsExpansion(t *testing.T) {
+	e, _ := ExperimentByID("fig8b")
+	cells := e.Cells(50*time.Millisecond, []int{1, 2})
+	if len(cells) != 2*len(e.Schemes) {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*len(e.Schemes))
+	}
+	for _, c := range cells {
+		if c.Duration != 50*time.Millisecond || c.Structure != "hashmap" {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+	k, _ := ExperimentByID("ksweep")
+	cells = k.Cells(time.Millisecond, nil)
+	if len(cells) != len(k.Schemes)*len(k.EmptyFreqs) {
+		t.Fatalf("ksweep: got %d cells, want %d", len(cells), len(k.Schemes)*len(k.EmptyFreqs))
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSVHeader(&sb); err != nil {
+		t.Fatal(err)
+	}
+	r := quick(t, Config{Structure: "hashmap", Scheme: "tagibr", Threads: 1})
+	if err := WriteCSVRow(&sb, "fig8b", r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(strings.Split(CSVHeader, ",")); got != want {
+		t.Fatalf("row has %d fields, header %d", got, want)
+	}
+	if !strings.HasPrefix(lines[1], "fig8b,hashmap,write,tagibr,1,") {
+		t.Fatalf("unexpected row prefix: %s", lines[1])
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	var rs []Result
+	for _, th := range []int{1, 2} {
+		for _, s := range []string{"ebr", "tagibr"} {
+			r := quick(t, Config{Structure: "hashmap", Scheme: s, Threads: th,
+				Duration: 5 * time.Millisecond})
+			rs = append(rs, r)
+		}
+	}
+	var sb strings.Builder
+	Series(&sb, "test", "mops", rs)
+	out := sb.String()
+	for _, want := range []string{"ebr", "tagibr", "scheme\\thr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series table missing %q:\n%s", want, out)
+		}
+	}
+	Series(&sb, "test", "space", rs)
+}
+
+func TestXrandDistinctStreams(t *testing.T) {
+	a, b := newRand(1), newRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds produced %d/100 identical outputs", same)
+	}
+	f := newRand(3).float()
+	if f < 0 || f >= 1 {
+		t.Fatalf("float() = %v out of [0,1)", f)
+	}
+}
+
+// TestXrandKeyOpIndependence is the regression test for a subtle workload
+// bug: with the original xorshift64* generator, the op-selection bit was a
+// deterministic function of the key draw, so every key was permanently
+// paired with insert-only or remove-only and the benchmark degenerated into
+// ~100% failed operations. With SplitMix64, every key must see both ops.
+func TestXrandKeyOpIndependence(t *testing.T) {
+	r := newRand(1)
+	opsSeen := map[uint64]int{}
+	for i := 0; i < 300000; i++ {
+		key := r.next() % 2048
+		if r.next()%2 == 0 {
+			opsSeen[key] |= 1
+		} else {
+			opsSeen[key] |= 2
+		}
+	}
+	stuck := 0
+	for _, m := range opsSeen {
+		if m != 3 {
+			stuck++
+		}
+	}
+	if stuck > 0 {
+		t.Fatalf("%d of %d keys saw only one op type: key/op correlation is back", stuck, len(opsSeen))
+	}
+}
+
+// TestWorkloadReachesSteadyState checks the benchmark actually churns: in a
+// write-dominated run, successful inserts (hence allocations) must be a
+// significant fraction of operations, not a vanishing one.
+func TestWorkloadReachesSteadyState(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "ebr", Threads: 1,
+		KeyRange: 4096, Duration: 100 * time.Millisecond})
+	workerAllocs := float64(r.Allocs) // includes ~3072 prefill
+	if workerAllocs < float64(r.Ops)/10 {
+		t.Fatalf("only %.0f allocs for %d ops: workload degenerated", workerAllocs, r.Ops)
+	}
+}
+
+// TestOutcomeCounters checks the op-outcome accounting: counters must sum
+// to Ops, and a steady-state write-dominated run must succeed a healthy
+// fraction of its updates (the churn regression guard, structural version).
+func TestOutcomeCounters(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "ebr", Threads: 2,
+		KeyRange: 2048, Duration: 80 * time.Millisecond})
+	sum := r.InsertOK + r.InsertFail + r.RemoveOK + r.RemoveFail + r.GetHit + r.GetMiss
+	if sum != r.Ops {
+		t.Fatalf("outcome counters sum to %d, ops = %d", sum, r.Ops)
+	}
+	if r.GetHit+r.GetMiss != 0 {
+		t.Fatal("write-dominated run recorded reads")
+	}
+	if ok := float64(r.InsertOK+r.RemoveOK) / float64(r.Ops); ok < 0.2 {
+		t.Fatalf("only %.1f%% of updates succeeded: degenerate workload", ok*100)
+	}
+	rd := quick(t, Config{Structure: "hashmap", Scheme: "ebr", Threads: 2,
+		Workload: ReadDominated, KeyRange: 2048, Duration: 50 * time.Millisecond})
+	reads := rd.GetHit + rd.GetMiss
+	if frac := float64(reads) / float64(rd.Ops); frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction %.2f, want ~0.90", frac)
+	}
+}
+
+// TestSpaceSeriesShowsStallGrowth records the space-vs-time curve with a
+// mid-run staller: EBR's curve must climb well past its stall-free level,
+// and the series machinery must produce ordered, plausible samples.
+func TestSpaceSeries(t *testing.T) {
+	s, err := RunSpaceSeries(Config{
+		Structure: "hashmap", Scheme: "ebr", Threads: 2,
+		Stalled: 1, StallFor: 40 * time.Millisecond,
+		Duration: 120 * time.Millisecond, KeyRange: 2048,
+	}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) < 10 {
+		t.Fatalf("only %d samples", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].T <= s.Points[i-1].T {
+			t.Fatal("samples not time-ordered")
+		}
+	}
+	max := 0
+	for _, p := range s.Points {
+		if p.Retired > max {
+			max = p.Retired
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("peak retired %d; stall did not inflate EBR's curve", max)
+	}
+	var sb strings.Builder
+	if err := WriteSpaceSeriesCSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != len(s.Points)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(s.Points)+1)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 900; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 > time.Microsecond {
+		t.Fatalf("p50 = %v, want sub-microsecond", p50)
+	}
+	if p999 := h.Quantile(0.999); p999 < 50*time.Microsecond {
+		t.Fatalf("p999 = %v, want >= 50µs", p999)
+	}
+	var h2 LatencyHist
+	h2.Record(time.Millisecond)
+	h.Merge(&h2)
+	if h.Count() != 1001 {
+		t.Fatal("merge lost counts")
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRunWithLatency(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "tagibr", Threads: 2,
+		KeyRange: 1024, Duration: 50 * time.Millisecond, MeasureLatency: true})
+	if r.Latency == nil || r.Latency.Count() == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	if r.Latency.Count() != r.Ops {
+		t.Fatalf("latency samples %d != ops %d", r.Latency.Count(), r.Ops)
+	}
+	if p50 := r.Latency.Quantile(0.5); p50 <= 0 || p50 > time.Second {
+		t.Fatalf("implausible p50 %v", p50)
+	}
+	// Default runs must not allocate a histogram.
+	r2 := quick(t, Config{Structure: "hashmap", Scheme: "tagibr", Threads: 1})
+	if r2.Latency != nil {
+		t.Fatal("latency measured without opt-in")
+	}
+}
+
+func TestScanStatsSurface(t *testing.T) {
+	r := quick(t, Config{Structure: "hashmap", Scheme: "ebr", Threads: 2,
+		KeyRange: 1024, Duration: 60 * time.Millisecond})
+	if r.Scans == 0 || r.ScanFreed == 0 {
+		t.Fatalf("no scan work recorded: %+v", r)
+	}
+	if r.ScanMeanLen <= 0 {
+		t.Fatal("mean scan length not computed")
+	}
+	n := quick(t, Config{Structure: "hashmap", Scheme: "none", Threads: 1,
+		Duration: 10 * time.Millisecond})
+	if n.Scans != 0 {
+		t.Fatal("NoMM reported scans")
+	}
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a log2-bucketed latency histogram: bucket i counts
+// operations whose latency in nanoseconds satisfies 2^i <= ns < 2^(i+1).
+// Recording is two instructions (bit-length + increment), cheap enough to
+// leave on in benchmark workers.
+type LatencyHist struct {
+	buckets [48]uint64
+	count   uint64
+}
+
+// Record adds one operation's duration.
+func (h *LatencyHist) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	i := bits.Len64(ns) - 1
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// Merge folds other into h (used to combine per-worker histograms).
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+}
+
+// Count returns the number of recorded operations.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Quantile returns an upper bound on the q-quantile latency (the top of
+// the bucket containing it). q in [0,1].
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return time.Duration(uint64(1) << (i + 1)) // bucket upper bound
+		}
+	}
+	return time.Duration(uint64(1) << len(h.buckets))
+}
+
+// String renders the histogram's headline quantiles.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d p50<%v p99<%v p999<%v",
+		h.count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+}

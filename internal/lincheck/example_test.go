@@ -1,0 +1,30 @@
+package lincheck_test
+
+import (
+	"fmt"
+
+	"ibr/internal/lincheck"
+)
+
+// Example checks a tiny two-thread history: thread 0's insert overlaps
+// thread 1's failed lookup (fine — the Get may linearize first), but a
+// second Get that starts strictly after the insert returned must see the
+// key.
+func Example() {
+	ok := []lincheck.Event{
+		{Tid: 0, Kind: lincheck.Insert, Key: 9, OK: true, Invoke: 1, Return: 6},
+		{Tid: 1, Kind: lincheck.Get, Key: 9, OK: false, Invoke: 2, Return: 4},
+		{Tid: 1, Kind: lincheck.Get, Key: 9, OK: true, Invoke: 7, Return: 8},
+	}
+	fmt.Println(lincheck.CheckKey(ok, false))
+
+	stale := []lincheck.Event{
+		{Tid: 0, Kind: lincheck.Insert, Key: 9, OK: true, Invoke: 1, Return: 2},
+		{Tid: 1, Kind: lincheck.Get, Key: 9, OK: false, Invoke: 3, Return: 4},
+	}
+	fmt.Println(lincheck.CheckKey(stale, false))
+
+	// Output:
+	// linearizable
+	// VIOLATION
+}

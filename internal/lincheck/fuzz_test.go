@@ -1,0 +1,58 @@
+package lincheck
+
+import "testing"
+
+// FuzzCheckKey fuzzes the checker with arbitrary small histories and
+// verifies two sound metamorphic properties:
+//
+//  1. Permutation invariance: the verdict cannot depend on slice order
+//     (the checker sorts internally).
+//  2. Widening monotonicity: enlarging every operation's interval only
+//     adds linearization flexibility, so a Linearizable history must stay
+//     Linearizable after widening.
+//
+// (Note that *shrinking* histories is NOT sound: removing a successful
+// insert from a linearizable history can orphan a later successful remove.)
+func FuzzCheckKey(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, false)
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, true)
+	f.Add([]byte{4, 0, 5, 1, 6, 2, 7}, false)
+	f.Fuzz(func(t *testing.T, data []byte, initial bool) {
+		if len(data) > 12 {
+			data = data[:12]
+		}
+		var h []Event
+		for i, b := range data {
+			h = append(h, Event{
+				Kind:   Kind(b % 3),
+				Key:    1,
+				OK:     b&4 != 0,
+				Invoke: uint64(i*3 + 1 + int(b%2)),
+				Return: uint64(i*3 + 3 + int(b%5)),
+			})
+		}
+		res := CheckKey(h, initial)
+
+		// Property 1: permutation invariance (reverse the slice).
+		rev := make([]Event, len(h))
+		for i := range h {
+			rev[len(h)-1-i] = h[i]
+		}
+		if got := CheckKey(rev, initial); got != res {
+			t.Fatalf("order dependence: %v vs %v", res, got)
+		}
+
+		// Property 2: widening monotonicity.
+		if res == Linearizable {
+			wide := make([]Event, len(h))
+			for i, e := range h {
+				e.Invoke = e.Invoke - 1
+				e.Return = e.Return + 3
+				wide[i] = e
+			}
+			if got := CheckKey(wide, initial); got == Violation {
+				t.Fatalf("widening turned a linearizable history into a violation:\n%v", h)
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package lincheck is a small linearizability checker for the key-value
+// structures in this repository. Because keys are independent (a map is a
+// product of per-key set-registers), a concurrent history decomposes into
+// one history per key, each over a two-state object:
+//
+//	state ∈ {absent, present}
+//	Insert → ok iff absent (then present)
+//	Remove → ok iff present (then absent)
+//	Get    → reports the state, never changes it
+//
+// CheckKey searches for a linearization of one key's history that respects
+// real-time order (op A precedes op B iff A returned before B was invoked)
+// and the sequential spec above, via depth-first search with memoization
+// over (set of linearized ops, state). Histories are capped at 64 events
+// per key so the memo key fits a machine word; callers record short
+// windows (see Recorder) rather than whole runs.
+//
+// A use-after-free in a reclamation scheme shows up here as a stale read
+// (Get observing a state no linearization allows) or a lost update — the
+// precise symptoms SMR bugs produce.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind is the operation type.
+type Kind uint8
+
+const (
+	// Insert is a set-insert; OK means the key was absent.
+	Insert Kind = iota
+	// Remove is a set-remove; OK means the key was present.
+	Remove
+	// Get is a lookup; OK means the key was present.
+	Get
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "Insert"
+	case Remove:
+		return "Remove"
+	}
+	return "Get"
+}
+
+// Event is one completed operation on one key.
+type Event struct {
+	Tid    int
+	Kind   Kind
+	Key    uint64
+	OK     bool
+	Invoke uint64 // global logical timestamp at invocation
+	Return uint64 // global logical timestamp at response
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("T%d %s(%d)=%v [%d,%d]", e.Tid, e.Kind, e.Key, e.OK, e.Invoke, e.Return)
+}
+
+// MaxEventsPerKey bounds the per-key history the checker accepts; the DFS
+// memoizes on a 64-bit set of linearized operations.
+const MaxEventsPerKey = 64
+
+// Recorder collects events with a shared logical clock. One goroutine per
+// tid; Begin/record pairs bracket each operation.
+type Recorder struct {
+	clock  atomic.Uint64
+	events [][]Event // per tid, merged by Events()
+}
+
+// NewRecorder creates a recorder for the given number of thread ids.
+func NewRecorder(threads int) *Recorder {
+	return &Recorder{events: make([][]Event, threads)}
+}
+
+// Begin returns the invocation timestamp for an operation about to run.
+func (r *Recorder) Begin() uint64 { return r.clock.Add(1) }
+
+// Record appends a completed operation (stamped with a fresh response
+// timestamp) to tid's log.
+func (r *Recorder) Record(tid int, kind Kind, key uint64, ok bool, invoke uint64) {
+	r.events[tid] = append(r.events[tid], Event{
+		Tid: tid, Kind: kind, Key: key, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// Events merges all thread logs.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, evs := range r.events {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// Result is a per-key verdict.
+type Result int
+
+const (
+	// Linearizable: a valid linearization exists.
+	Linearizable Result = iota
+	// Violation: no linearization exists — a consistency bug.
+	Violation
+	// Inconclusive: the history exceeded MaxEventsPerKey, or the search
+	// exceeded its step budget, and no verdict was reached.
+	Inconclusive
+)
+
+func (r Result) String() string {
+	switch r {
+	case Linearizable:
+		return "linearizable"
+	case Violation:
+		return "VIOLATION"
+	}
+	return "inconclusive"
+}
+
+// CheckKey decides whether one key's history (events for a single key,
+// with initial state given by initiallyPresent) is linearizable.
+func CheckKey(events []Event, initiallyPresent bool) Result {
+	if len(events) == 0 {
+		return Linearizable
+	}
+	if len(events) > MaxEventsPerKey {
+		return Inconclusive
+	}
+	evs := append([]Event(nil), events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Invoke < evs[j].Invoke })
+
+	n := len(evs)
+	type memoKey struct {
+		done  uint64
+		state bool
+	}
+	memo := map[memoKey]bool{} // visited (done-set, state) pairs that failed
+	steps := 0
+	const maxSteps = 1 << 20 // DFS budget: beyond this, report Inconclusive
+
+	var dfs func(done uint64, state bool) bool
+	dfs = func(done uint64, state bool) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		if steps++; steps > maxSteps {
+			panic(errBudget)
+		}
+		mk := memoKey{done, state}
+		if memo[mk] {
+			return false
+		}
+		// minResponse over not-yet-linearized ops: an op may linearize next
+		// only if no pending op *returned* before it was invoked.
+		minReturn := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && evs[i].Return < minReturn {
+				minReturn = evs[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			e := evs[i]
+			if e.Invoke > minReturn {
+				continue // would violate real-time order
+			}
+			next, okResult := apply(state, e)
+			if !okResult {
+				continue // result inconsistent with this state
+			}
+			if dfs(done|(1<<i), next) {
+				return true
+			}
+		}
+		memo[mk] = true
+		return false
+	}
+	result := Violation
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errBudget {
+					result = Inconclusive
+					return
+				}
+				panic(r)
+			}
+		}()
+		if dfs(0, initiallyPresent) {
+			result = Linearizable
+		}
+	}()
+	return result
+}
+
+// errBudget is the sentinel used to unwind a DFS that exceeded its step
+// budget; CheckKey converts it into Inconclusive.
+var errBudget = fmt.Errorf("lincheck: search budget exceeded")
+
+// apply runs the sequential spec: it returns the next state and whether
+// the event's recorded result is possible from the given state.
+func apply(present bool, e Event) (next bool, consistent bool) {
+	switch e.Kind {
+	case Insert:
+		if e.OK {
+			return true, !present
+		}
+		return present, present
+	case Remove:
+		if e.OK {
+			return false, present
+		}
+		return present, !present
+	default: // Get
+		return present, e.OK == present
+	}
+}
+
+// Report is the outcome of checking a whole multi-key history.
+type Report struct {
+	Keys          int
+	Linearizable  int
+	Violations    []uint64 // keys that failed
+	Inconclusive  int
+	EventsChecked int
+}
+
+// Check partitions events by key and verifies each. initiallyPresent
+// reports the pre-history state of a key (e.g. from the benchmark's
+// prefill).
+func Check(events []Event, initiallyPresent func(key uint64) bool) Report {
+	byKey := map[uint64][]Event{}
+	for _, e := range events {
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	var rep Report
+	rep.Keys = len(byKey)
+	for key, evs := range byKey {
+		switch CheckKey(evs, initiallyPresent(key)) {
+		case Linearizable:
+			rep.Linearizable++
+			rep.EventsChecked += len(evs)
+		case Violation:
+			rep.Violations = append(rep.Violations, key)
+		case Inconclusive:
+			rep.Inconclusive++
+		}
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool { return rep.Violations[i] < rep.Violations[j] })
+	return rep
+}
+
+// Err returns nil for a clean report and a descriptive error otherwise.
+func (r Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("lincheck: %d key(s) not linearizable (first: %d)", len(r.Violations), r.Violations[0])
+}

@@ -1,0 +1,271 @@
+package lincheck
+
+import (
+	"testing"
+	"time"
+)
+
+// ev builds an event quickly for hand-written histories.
+func ev(kind Kind, ok bool, invoke, ret uint64) Event {
+	return Event{Kind: kind, Key: 1, OK: ok, Invoke: invoke, Return: ret}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if got := CheckKey(nil, false); got != Linearizable {
+		t.Fatalf("empty history: %v", got)
+	}
+}
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	h := []Event{
+		ev(Insert, true, 1, 2),
+		ev(Get, true, 3, 4),
+		ev(Remove, true, 5, 6),
+		ev(Get, false, 7, 8),
+		ev(Remove, false, 9, 10),
+		ev(Insert, true, 11, 12),
+	}
+	if got := CheckKey(h, false); got != Linearizable {
+		t.Fatalf("valid sequential history rejected: %v", got)
+	}
+}
+
+func TestSequentialViolationRejected(t *testing.T) {
+	// Insert ok twice in a row with no remove: impossible.
+	h := []Event{
+		ev(Insert, true, 1, 2),
+		ev(Insert, true, 3, 4),
+	}
+	if got := CheckKey(h, false); got != Violation {
+		t.Fatalf("double successful insert accepted: %v", got)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// Get=false strictly after a successful insert completed (and nothing
+	// else ran): the classic use-after-free symptom.
+	h := []Event{
+		ev(Insert, true, 1, 2),
+		ev(Get, false, 3, 4),
+	}
+	if got := CheckKey(h, false); got != Violation {
+		t.Fatalf("stale read accepted: %v", got)
+	}
+}
+
+func TestConcurrentOverlapUsesFlexibility(t *testing.T) {
+	// Insert and Get overlap: the Get may linearize before or after, so
+	// both results are acceptable.
+	for _, getOK := range []bool{true, false} {
+		h := []Event{
+			ev(Insert, true, 1, 10),
+			ev(Get, getOK, 2, 9),
+		}
+		if got := CheckKey(h, false); got != Linearizable {
+			t.Fatalf("overlapping Get=%v rejected: %v", getOK, got)
+		}
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Two sequential Gets around a concurrent Remove: present→absent is
+	// fine, absent→present is not (time travel).
+	good := []Event{
+		ev(Remove, true, 1, 20),
+		ev(Get, true, 2, 3),
+		ev(Get, false, 4, 5),
+	}
+	if got := CheckKey(good, true); got != Linearizable {
+		t.Fatalf("good history rejected: %v", got)
+	}
+	bad := []Event{
+		ev(Remove, true, 1, 20),
+		ev(Get, false, 2, 3),
+		ev(Get, true, 4, 5), // resurrect with no insert: impossible
+	}
+	if got := CheckKey(bad, true); got != Violation {
+		t.Fatalf("time-travel history accepted: %v", got)
+	}
+}
+
+func TestInitialStateMatters(t *testing.T) {
+	h := []Event{ev(Remove, true, 1, 2)}
+	if got := CheckKey(h, true); got != Linearizable {
+		t.Fatalf("remove of prefilled key rejected: %v", got)
+	}
+	if got := CheckKey(h, false); got != Violation {
+		t.Fatalf("remove of absent key accepted: %v", got)
+	}
+}
+
+func TestAlternationWithConcurrency(t *testing.T) {
+	// Two threads race one insert and one remove, both succeeding, fully
+	// overlapped: only insert-then-remove linearizes from absent.
+	h := []Event{
+		ev(Insert, true, 1, 10),
+		ev(Remove, true, 2, 9),
+	}
+	if got := CheckKey(h, false); got != Linearizable {
+		t.Fatalf("racing I/R rejected: %v", got)
+	}
+	// Same but from present: only remove-then-insert works; still fine.
+	if got := CheckKey(h, true); got != Linearizable {
+		t.Fatalf("racing I/R from present rejected: %v", got)
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	// T1 inserts (ok), then strictly later T2 inserts (ok) while no remove
+	// ever succeeded — a lost update some SMR bugs produce via ABA.
+	h := []Event{
+		ev(Insert, true, 1, 2),
+		ev(Get, true, 3, 4),
+		ev(Insert, true, 5, 6),
+	}
+	if got := CheckKey(h, false); got != Violation {
+		t.Fatalf("lost update accepted: %v", got)
+	}
+}
+
+func TestFailedOpsCarryInformation(t *testing.T) {
+	// A failed remove pins state=absent at its linearization point; with a
+	// non-overlapping successful insert strictly before it, that is a
+	// violation.
+	h := []Event{
+		ev(Insert, true, 1, 2),
+		ev(Remove, false, 3, 4),
+	}
+	if got := CheckKey(h, false); got != Violation {
+		t.Fatalf("failed-remove-after-insert accepted: %v", got)
+	}
+}
+
+func TestOversizedHistoryInconclusive(t *testing.T) {
+	var h []Event
+	for i := 0; i < MaxEventsPerKey+1; i++ {
+		h = append(h, ev(Get, false, uint64(2*i+1), uint64(2*i+2)))
+	}
+	if got := CheckKey(h, false); got != Inconclusive {
+		t.Fatalf("oversized history: %v", got)
+	}
+}
+
+func TestRecorderAndCheck(t *testing.T) {
+	r := NewRecorder(2)
+	t0 := r.Begin()
+	r.Record(0, Insert, 7, true, t0)
+	t1 := r.Begin()
+	r.Record(1, Get, 7, true, t1)
+	t2 := r.Begin()
+	r.Record(0, Remove, 7, true, t2)
+	t3 := r.Begin()
+	r.Record(1, Get, 9, false, t3)
+
+	rep := Check(r.Events(), func(uint64) bool { return false })
+	if rep.Keys != 2 || rep.Linearizable != 2 || len(rep.Violations) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Err() != nil {
+		t.Fatal(rep.Err())
+	}
+}
+
+func TestReportErr(t *testing.T) {
+	r := NewRecorder(1)
+	t0 := r.Begin()
+	r.Record(0, Insert, 5, true, t0)
+	t1 := r.Begin()
+	r.Record(0, Insert, 5, true, t1)
+	rep := Check(r.Events(), func(uint64) bool { return false })
+	if rep.Err() == nil {
+		t.Fatal("violation not reported")
+	}
+}
+
+// TestDeepBacktracking: a history whose only valid linearization requires
+// choosing a non-greedy order (the DFS must backtrack).
+func TestDeepBacktracking(t *testing.T) {
+	// From absent: I1 [1,20] ok, R1 [2,19] ok, G [3,4] false.
+	// Greedy by invocation would try I1 first, but then G (invoked at 3,
+	// within real-time flexibility) must read present... The only valid
+	// order is G(false), I1, R1.
+	h := []Event{
+		ev(Insert, true, 1, 20),
+		ev(Remove, true, 2, 19),
+		ev(Get, false, 3, 4),
+	}
+	if got := CheckKey(h, false); got != Linearizable {
+		t.Fatalf("backtracking history rejected: %v", got)
+	}
+}
+
+// TestGeneratedValidHistoriesAccepted_Quick builds histories by simulating
+// a true sequential execution and then stretching each operation's
+// interval backwards/forwards without crossing its neighbors' linearization
+// points — every such history is linearizable by construction, and the
+// checker must accept all of them.
+func TestGeneratedValidHistoriesAccepted_Quick(t *testing.T) {
+	rng := func(seed int64) func(n int) int {
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+		return func(n int) int {
+			s += 0x9E3779B97F4A7C15
+			z := s
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return int((z ^ (z >> 31)) % uint64(n))
+		}
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		r := rng(seed)
+		n := 3 + r(10)
+		present := r(2) == 0
+		initial := present
+		// Linearization points at 10, 20, 30, ...; intervals stretch up to
+		// ±9 around them, so adjacent ops may overlap but never swap.
+		var h []Event
+		for i := 0; i < n; i++ {
+			point := uint64((i + 1) * 20)
+			var e Event
+			switch r(3) {
+			case 0:
+				e = Event{Kind: Insert, Key: 1, OK: !present}
+				if !present {
+					present = true
+				}
+			case 1:
+				e = Event{Kind: Remove, Key: 1, OK: present}
+				if present {
+					present = false
+				}
+			default:
+				e = Event{Kind: Get, Key: 1, OK: present}
+			}
+			e.Invoke = point - uint64(r(15)) // ±15 around points 20 apart: real overlap
+			e.Return = point + uint64(r(15))
+			h = append(h, e)
+		}
+		if got := CheckKey(h, initial); got != Linearizable {
+			t.Fatalf("seed %d: generated-valid history rejected: %v\n%v", seed, got, h)
+		}
+	}
+}
+
+// TestSearchBudget: a maximally-overlapping history with a huge state
+// space must terminate promptly with a sound verdict (Linearizable or
+// Inconclusive — never a spurious Violation, and never a hang).
+func TestSearchBudget(t *testing.T) {
+	var h []Event
+	// 60 fully-overlapping successful inserts and removes: all intervals
+	// [1, 1000], so every permutation is real-time-admissible.
+	for i := 0; i < 30; i++ {
+		h = append(h, ev(Insert, true, 1, 1000), ev(Remove, true, 1, 1000))
+	}
+	start := time.Now()
+	r := CheckKey(h, false)
+	if r == Violation {
+		t.Fatalf("alternating I/R history is linearizable; got %v", r)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("CheckKey took %v; budget did not bound the search", time.Since(start))
+	}
+}

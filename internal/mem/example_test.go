@@ -1,0 +1,32 @@
+package mem_test
+
+import (
+	"fmt"
+
+	"ibr/internal/mem"
+)
+
+type record struct {
+	id uint64
+}
+
+// Example shows the manual allocator's lifecycle — the C-style discipline
+// (alloc, use, retire, free) that the reclamation schemes automate, with
+// the reuse stamp exposing recycling.
+func Example() {
+	pool := mem.New[record](mem.Options[record]{Threads: 1})
+
+	h, _ := pool.Alloc(0)
+	pool.Get(h).id = 7
+	fmt.Println("state:", pool.State(h), "stamp:", pool.Stamp(h))
+
+	pool.MarkRetired(h) // a reclamation scheme does this in Retire
+	pool.Free(0, h)     // ... and this once no reservation conflicts
+
+	h2, _ := pool.Alloc(0) // LIFO cache hands the same slot back
+	fmt.Println("recycled:", h2.SameAddr(h), "stamp:", pool.Stamp(h2))
+
+	// Output:
+	// state: live stamp: 0
+	// recycled: true stamp: 1
+}

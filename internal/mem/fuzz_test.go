@@ -1,0 +1,32 @@
+package mem
+
+import "testing"
+
+// FuzzHandleRoundTrip fuzzes the handle bit layout: any slot/mark/epoch
+// combination must round-trip and keep the three fields independent.
+func FuzzHandleRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint64(0))
+	f.Add(uint64(MaxSlots-1), uint8(3), uint64(MaxPackedEpoch))
+	f.Add(uint64(12345), uint8(1), uint64(99))
+	f.Fuzz(func(t *testing.T, slot uint64, marks uint8, epoch uint64) {
+		slot %= MaxSlots
+		m := uint64(marks % 4)
+		e := epoch % (MaxPackedEpoch + 1)
+		h := FromSlot(slot).WithMarks(m).WithEpoch(e)
+		if got, ok := h.Slot(); !ok || got != slot {
+			t.Fatalf("slot %d -> %d,%v", slot, got, ok)
+		}
+		if h.Marks() != m || h.Epoch() != e {
+			t.Fatalf("fields: marks %d->%d epoch %d->%d", m, h.Marks(), e, h.Epoch())
+		}
+		if h.Addr() != FromSlot(slot) {
+			t.Fatal("Addr not canonical")
+		}
+		if h.ClearMarks().Marks() != 0 || h.ClearMarks().Epoch() != e {
+			t.Fatal("ClearMarks touched epoch")
+		}
+		if h.IsNil() {
+			t.Fatal("non-nil handle reported nil")
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package mem provides the manual memory-management substrate that the IBR
+// paper assumes: a slab-based, type-preserving allocator with explicit
+// Alloc/Free, block headers carrying birth and retire epochs, and 64-bit
+// handles that play the role of C pointers.
+//
+// Go's garbage collector would otherwise make safe memory reclamation a
+// non-problem, so data structures in this repository never hold native Go
+// pointers to nodes. They hold Handles. A freed slot goes back on a free
+// list and is reused (possibly immediately), so every hazard the paper
+// studies — dangling references, ABA on reuse, unbounded retire lists — is
+// real and observable. Because slabs are never returned to the runtime and a
+// slot is only ever reused for the same node type, the allocator is
+// type-preserving in exactly the sense of §3.2.1 of the paper: a read
+// through a stale handle is well-defined (it sees some valid slot of the
+// right type), which is the property TagIBR-TPA relies on and which makes
+// the transient dangling windows of HP/HE well-defined in Go.
+package mem
+
+import "fmt"
+
+// Handle is a 64-bit pseudo-pointer to a slot in a Pool.
+//
+// Bit layout:
+//
+//	bit  0      application mark bit 0 (Harris "logically deleted" mark,
+//	            Natarajan–Mittal FLAG)
+//	bit  1      application mark bit 1 (Natarajan–Mittal TAG)
+//	bits 2..39  slot index + 1 (0 means nil), 38 bits
+//	bits 40..63 packed epoch, 24 bits; used only by the TagIBR-WCAS scheme,
+//	            zero everywhere else
+//
+// A Handle is opaque to data structures except for nil tests, equality,
+// mark-bit manipulation, and Pool access (which masks the non-address bits).
+type Handle uint64
+
+// Nil is the null Handle. Note that a marked nil (e.g. Nil.WithMark0()) is
+// non-zero and distinct from Nil, mirroring a tagged null pointer in C.
+const Nil Handle = 0
+
+const (
+	mark0Bit = Handle(1) << 0
+	mark1Bit = Handle(1) << 1
+	markMask = mark0Bit | mark1Bit
+
+	slotShift = 2
+	slotBits  = 38
+	slotMask  = Handle((1<<slotBits)-1) << slotShift
+
+	epochShift = 40
+	// EpochBits is the width of the packed-epoch field used by TagIBR-WCAS.
+	EpochBits = 24
+	epochMask = Handle((1<<EpochBits)-1) << epochShift
+
+	addrMask = slotMask // "address" = slot field only
+
+	// MaxSlots is the largest number of slots a Pool may manage: the slot
+	// field holds index+1, so index MaxSlots-1 is the largest encodable.
+	MaxSlots = 1<<slotBits - 1
+
+	// MaxPackedEpoch is the largest epoch representable in the packed field.
+	MaxPackedEpoch = 1<<EpochBits - 1
+)
+
+// FromSlot builds an unmarked, epoch-free Handle for slot index i.
+// It panics if i is out of the encodable range.
+func FromSlot(i uint64) Handle {
+	if i >= MaxSlots {
+		panic(fmt.Sprintf("mem: slot index %d exceeds MaxSlots %d", i, uint64(MaxSlots)))
+	}
+	return Handle(i+1) << slotShift
+}
+
+// Slot returns the slot index addressed by h and whether h is non-nil.
+func (h Handle) Slot() (uint64, bool) {
+	f := uint64(h&slotMask) >> slotShift
+	if f == 0 {
+		return 0, false
+	}
+	return f - 1, true
+}
+
+// IsNil reports whether the address part of h is null (marks and packed
+// epoch are ignored).
+func (h Handle) IsNil() bool { return h&slotMask == 0 }
+
+// Addr strips mark bits and the packed epoch, yielding the canonical
+// address-only form of h. Two handles refer to the same slot iff their Addrs
+// are equal.
+func (h Handle) Addr() Handle { return h & addrMask }
+
+// SameAddr reports whether h and o address the same slot (or are both nil).
+func (h Handle) SameAddr(o Handle) bool { return h&addrMask == o&addrMask }
+
+// WithMark0 returns h with mark bit 0 set.
+func (h Handle) WithMark0() Handle { return h | mark0Bit }
+
+// WithMark1 returns h with mark bit 1 set.
+func (h Handle) WithMark1() Handle { return h | mark1Bit }
+
+// ClearMarks returns h with both mark bits cleared (packed epoch preserved).
+func (h Handle) ClearMarks() Handle { return h &^ markMask }
+
+// ClearMark0 returns h with mark bit 0 cleared.
+func (h Handle) ClearMark0() Handle { return h &^ mark0Bit }
+
+// ClearMark1 returns h with mark bit 1 cleared.
+func (h Handle) ClearMark1() Handle { return h &^ mark1Bit }
+
+// Mark0Bit and Mark1Bit expose the mark masks for atomic bit operations on
+// stored pointer words (e.g. the Natarajan–Mittal tree's edge tagging).
+const (
+	Mark0Bit = uint64(mark0Bit)
+	Mark1Bit = uint64(mark1Bit)
+)
+
+// Mark0 reports whether mark bit 0 is set.
+func (h Handle) Mark0() bool { return h&mark0Bit != 0 }
+
+// Mark1 reports whether mark bit 1 is set.
+func (h Handle) Mark1() bool { return h&mark1Bit != 0 }
+
+// Marks returns the two mark bits as a value in 0..3.
+func (h Handle) Marks() uint64 { return uint64(h & markMask) }
+
+// WithMarks returns h carrying exactly the mark bits of m.
+func (h Handle) WithMarks(m uint64) Handle {
+	return (h &^ markMask) | (Handle(m) & markMask)
+}
+
+// WithEpoch returns h with the packed-epoch field set to e. Used only by
+// TagIBR-WCAS, which needs the birth epoch and the pointer updated by one
+// atomic instruction; see Pool.CheckEpochRange for the overflow guard.
+func (h Handle) WithEpoch(e uint64) Handle {
+	return (h &^ epochMask) | (Handle(e)<<epochShift)&epochMask
+}
+
+// Epoch extracts the packed-epoch field.
+func (h Handle) Epoch() uint64 { return uint64(h&epochMask) >> epochShift }
+
+// String renders h for debugging, e.g. "slot 41 [m0] (epoch 7)".
+func (h Handle) String() string {
+	s, ok := h.Slot()
+	if !ok {
+		if h == Nil {
+			return "nil"
+		}
+		return fmt.Sprintf("nil[m=%d,e=%d]", h.Marks(), h.Epoch())
+	}
+	return fmt.Sprintf("slot %d[m=%d,e=%d]", s, h.Marks(), h.Epoch())
+}

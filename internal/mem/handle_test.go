@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilHandle(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	if _, ok := Nil.Slot(); ok {
+		t.Fatal("Nil.Slot() reported a slot")
+	}
+	if Nil.String() != "nil" {
+		t.Fatalf("Nil.String() = %q", Nil.String())
+	}
+}
+
+func TestMarkedNilIsDistinctFromNil(t *testing.T) {
+	m := Nil.WithMark0()
+	if m == Nil {
+		t.Fatal("marked nil collapsed to Nil")
+	}
+	if !m.IsNil() {
+		t.Fatal("marked nil should still be address-nil")
+	}
+	if !m.Mark0() {
+		t.Fatal("mark bit lost")
+	}
+	if m.ClearMarks() != Nil {
+		t.Fatal("clearing marks on marked nil should give Nil")
+	}
+}
+
+func TestFromSlotRoundTrip(t *testing.T) {
+	for _, i := range []uint64{0, 1, 7, SlabSize - 1, SlabSize, MaxSlots - 1} {
+		h := FromSlot(i)
+		got, ok := h.Slot()
+		if !ok || got != i {
+			t.Fatalf("FromSlot(%d).Slot() = %d,%v", i, got, ok)
+		}
+		if h.IsNil() {
+			t.Fatalf("FromSlot(%d) is nil", i)
+		}
+	}
+}
+
+func TestFromSlotPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range slot")
+		}
+	}()
+	FromSlot(MaxSlots)
+}
+
+func TestMarkBits(t *testing.T) {
+	h := FromSlot(42)
+	if h.Mark0() || h.Mark1() {
+		t.Fatal("fresh handle has marks set")
+	}
+	m0 := h.WithMark0()
+	if !m0.Mark0() || m0.Mark1() {
+		t.Fatal("WithMark0 wrong bits")
+	}
+	m01 := m0.WithMark1()
+	if !m01.Mark0() || !m01.Mark1() {
+		t.Fatal("WithMark1 wrong bits")
+	}
+	if m01.Marks() != 3 {
+		t.Fatalf("Marks() = %d, want 3", m01.Marks())
+	}
+	if m01.ClearMarks() != h {
+		t.Fatal("ClearMarks did not restore original")
+	}
+	if !m01.SameAddr(h) {
+		t.Fatal("SameAddr should ignore marks")
+	}
+	if got, ok := m01.Slot(); !ok || got != 42 {
+		t.Fatalf("Slot() through marks = %d,%v", got, ok)
+	}
+}
+
+func TestWithMarksCopiesExactly(t *testing.T) {
+	h := FromSlot(9).WithMark0()
+	h2 := h.WithMarks(2) // only mark1
+	if h2.Mark0() || !h2.Mark1() {
+		t.Fatalf("WithMarks(2): m0=%v m1=%v", h2.Mark0(), h2.Mark1())
+	}
+	if h.WithMarks(0) != FromSlot(9) {
+		t.Fatal("WithMarks(0) should clear all marks")
+	}
+}
+
+func TestEpochPacking(t *testing.T) {
+	h := FromSlot(123).WithMark1()
+	for _, e := range []uint64{0, 1, 100, MaxPackedEpoch} {
+		he := h.WithEpoch(e)
+		if he.Epoch() != e {
+			t.Fatalf("Epoch round trip: got %d want %d", he.Epoch(), e)
+		}
+		if !he.SameAddr(h) {
+			t.Fatal("WithEpoch changed address")
+		}
+		if he.Marks() != h.Marks() {
+			t.Fatal("WithEpoch changed marks")
+		}
+	}
+	// WithEpoch replaces, not ORs.
+	if h.WithEpoch(5).WithEpoch(3).Epoch() != 3 {
+		t.Fatal("WithEpoch did not replace previous epoch")
+	}
+	// Epoch truncates to the field width.
+	if h.WithEpoch(math.MaxUint64).Epoch() != MaxPackedEpoch {
+		t.Fatal("oversized epoch not truncated to field")
+	}
+}
+
+func TestAddrStripsEverything(t *testing.T) {
+	h := FromSlot(77).WithMark0().WithMark1().WithEpoch(999)
+	a := h.Addr()
+	if a != FromSlot(77) {
+		t.Fatalf("Addr() = %v, want plain slot 77", a)
+	}
+}
+
+func TestHandleFieldsIndependent_Quick(t *testing.T) {
+	f := func(slot uint64, marks uint8, epoch uint64) bool {
+		slot %= MaxSlots
+		m := uint64(marks % 4)
+		h := FromSlot(slot).WithMarks(m).WithEpoch(epoch % (MaxPackedEpoch + 1))
+		s, ok := h.Slot()
+		return ok && s == slot && h.Marks() == m &&
+			h.Epoch() == epoch%(MaxPackedEpoch+1) &&
+			h.Addr() == FromSlot(slot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameAddrIgnoresEpochAndMarks_Quick(t *testing.T) {
+	f := func(slot uint64, m1, m2 uint8, e1, e2 uint64) bool {
+		slot %= MaxSlots
+		a := FromSlot(slot).WithMarks(uint64(m1 % 4)).WithEpoch(e1 % MaxPackedEpoch)
+		b := FromSlot(slot).WithMarks(uint64(m2 % 4)).WithEpoch(e2 % MaxPackedEpoch)
+		return a.SameAddr(b) && b.SameAddr(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEpochRange(t *testing.T) {
+	CheckEpochRange(0)
+	CheckEpochRange(MaxPackedEpoch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for epoch overflow")
+		}
+	}()
+	CheckEpochRange(MaxPackedEpoch + 1)
+}

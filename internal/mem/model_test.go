@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPoolModel drives the pool with long random operation sequences and
+// cross-checks every observable against a trivial model: which slots are
+// live/retired/free, their bodies, stamps, and the aggregate statistics.
+func TestPoolModel(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run("", func(t *testing.T) {
+			const capSlots = 256
+			p := New[testNode](Options[testNode]{Threads: 2, MaxSlots: capSlots})
+			rng := rand.New(rand.NewSource(seed))
+
+			type slotModel struct {
+				state State
+				key   uint64
+				stamp uint64
+			}
+			model := map[Handle]*slotModel{}
+			var live, retired []Handle
+			allocs, frees := uint64(0), uint64(0)
+
+			removeFrom := func(s []Handle, h Handle) []Handle {
+				for i := range s {
+					if s[i] == h {
+						s[i] = s[len(s)-1]
+						return s[:len(s)-1]
+					}
+				}
+				t.Fatalf("handle %v not tracked", h)
+				return s
+			}
+
+			for i := 0; i < 5000; i++ {
+				tid := rng.Intn(2)
+				switch rng.Intn(4) {
+				case 0, 1: // alloc
+					h, ok := p.Alloc(tid)
+					if !ok {
+						// Legitimate under-capacity failure: freed slots may
+						// be cached by the *other* thread (thread-cached
+						// allocators trade this for lock-free fast paths).
+						// It must never happen while most of the pool is
+						// genuinely free, though.
+						if uint64(len(live)+len(retired)) < capSlots/2 {
+							t.Fatalf("op %d: alloc failed with only %d/%d slots in use",
+								i, len(live)+len(retired), capSlots)
+						}
+						continue
+					}
+					h = h.Addr()
+					m := model[h]
+					if m == nil {
+						m = &slotModel{}
+						model[h] = m
+					}
+					if m.state != StateFree {
+						t.Fatalf("op %d: alloc returned non-free slot %v (%v)", i, h, m.state)
+					}
+					m.state = StateLive
+					m.key = rng.Uint64()
+					p.Get(h).key = m.key
+					live = append(live, h)
+					allocs++
+				case 2: // retire a random live slot
+					if len(live) == 0 {
+						continue
+					}
+					h := live[rng.Intn(len(live))]
+					p.MarkRetired(h)
+					model[h].state = StateRetired
+					live = removeFrom(live, h)
+					retired = append(retired, h)
+				default: // free a random retired slot
+					if len(retired) == 0 {
+						continue
+					}
+					h := retired[rng.Intn(len(retired))]
+					p.Free(tid, h)
+					m := model[h]
+					m.state = StateFree
+					m.stamp++
+					retired = removeFrom(retired, h)
+					frees++
+				}
+				// Spot-check a few tracked slots every step.
+				for j := 0; j < 3 && j < len(live); j++ {
+					h := live[rng.Intn(len(live))]
+					if p.State(h) != StateLive {
+						t.Fatalf("op %d: slot %v state %v, model live", i, h, p.State(h))
+					}
+					if p.Get(h).key != model[h].key {
+						t.Fatalf("op %d: slot %v body diverged", i, h)
+					}
+					if p.Stamp(h) != model[h].stamp {
+						t.Fatalf("op %d: slot %v stamp %d, model %d", i, h, p.Stamp(h), model[h].stamp)
+					}
+				}
+			}
+			st := p.Stats()
+			if st.Allocs != allocs || st.Frees != frees {
+				t.Fatalf("stats %+v, model allocs %d frees %d", st, allocs, frees)
+			}
+			c := p.Census()
+			if c.Live != uint64(len(live)) || c.Retired != uint64(len(retired)) {
+				t.Fatalf("census %+v, model live %d retired %d", c, len(live), len(retired))
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark cell parsed from a harness CSV.
+type Row struct {
+	Scheme  string
+	Threads int
+	Mops    float64
+	Space   float64
+	Empty   int // emptyfreq (x axis of the ksweep figure)
+}
+
+// ReadHarnessCSV parses the CSV written by cmd/ibrfigs / cmd/ibrbench.
+func ReadHarnessCSV(r io.Reader) ([]Row, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("plot: no data rows")
+	}
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	for _, want := range []string{"scheme", "threads", "mops", "avg_retired"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("plot: missing column %q", want)
+		}
+	}
+	var rows []Row
+	for _, rec := range records[1:] {
+		threads, err1 := strconv.Atoi(rec[col["threads"]])
+		mops, err2 := strconv.ParseFloat(rec[col["mops"]], 64)
+		space, err3 := strconv.ParseFloat(rec[col["avg_retired"]], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("plot: bad row %v", rec)
+		}
+		row := Row{Scheme: rec[col["scheme"]], Threads: threads, Mops: mops, Space: space}
+		if i, ok := col["emptyfreq"]; ok {
+			row.Empty, _ = strconv.Atoi(rec[i])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BuildFigure turns parsed rows into a chart for one metric ("mops" or
+// "space"). Figures whose name contains "ksweep" use the empty-frequency
+// column as the x axis; space charts use a log y axis.
+func BuildFigure(name, metric string, rows []Row) *Chart {
+	c := &Chart{
+		Title:  fmt.Sprintf("%s — %s", name, map[string]string{"mops": "throughput", "space": "retired-but-unreclaimed blocks"}[metric]),
+		XLabel: "threads",
+		YLabel: map[string]string{"mops": "M ops/s", "space": "avg retired blocks"}[metric],
+		LogY:   metric == "space",
+	}
+	ksweep := strings.Contains(name, "ksweep")
+	if ksweep {
+		c.XLabel = "empty frequency k"
+	}
+	bySeries := map[string][]Row{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := bySeries[r.Scheme]; !ok {
+			order = append(order, r.Scheme)
+		}
+		bySeries[r.Scheme] = append(bySeries[r.Scheme], r)
+	}
+	for _, scheme := range order {
+		rs := bySeries[scheme]
+		sort.Slice(rs, func(i, j int) bool {
+			if ksweep {
+				return rs[i].Empty < rs[j].Empty
+			}
+			return rs[i].Threads < rs[j].Threads
+		})
+		s := Series{Name: scheme}
+		for _, r := range rs {
+			x := float64(r.Threads)
+			if ksweep {
+				x = float64(r.Empty)
+			}
+			y := r.Mops
+			if metric == "space" {
+				y = r.Space
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}

@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "fig8b — throughput",
+		XLabel: "threads",
+		YLabel: "M ops/s",
+		Series: []Series{
+			{Name: "ebr", X: []float64{1, 2, 4}, Y: []float64{7.4, 2.7, 2.7}},
+			{Name: "tagibr", X: []float64{1, 2, 4}, Y: []float64{6.7, 2.6, 2.2}},
+		},
+	}
+}
+
+func TestSVGWellFormedBasics(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "ebr", "tagibr", "threads", "M ops/s",
+		"fig8b",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Fatal("unbalanced svg tags")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = "a<b & c>d"
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b") {
+		t.Fatal("unescaped < in title")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestLogYSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{
+			{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100}},
+		},
+	}
+	svg := c.SVG()
+	// Only 2 positive points: the polyline has exactly two coordinates.
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polyline for positive points")
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if svg := c.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart produced invalid SVG")
+	}
+}
+
+func TestSingleValueRanges(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{42}}}}
+	if svg := c.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("degenerate ranges broke rendering")
+	}
+}
+
+func TestTicksAreRound(t *testing.T) {
+	for _, tc := range []struct{ lo, hi float64 }{
+		{0, 10}, {0, 1}, {3, 97000}, {-5, 5}, {0.001, 0.009},
+	} {
+		ts := ticks(tc.lo, tc.hi, 6)
+		if len(ts) < 2 || len(ts) > 14 {
+			t.Fatalf("ticks(%v,%v) produced %d ticks: %v", tc.lo, tc.hi, len(ts), ts)
+		}
+		for _, v := range ts {
+			if v < tc.lo-1e-9 || v > tc.hi+1e-9 {
+				t.Fatalf("tick %v outside [%v,%v]", v, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		7:       "7",
+		1500:    "1.5k",
+		2500000: "2.5M",
+		0.25:    "0.25",
+	}
+	for in, want := range cases {
+		if got := fmtNum(in); got != want {
+			t.Errorf("fmtNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadHarnessCSV(t *testing.T) {
+	csvData := `experiment,structure,workload,scheme,threads,stalled,emptyfreq,duration_ms,ops,mops,avg_retired,allocs,frees,live
+fig8b,hashmap,write,ebr,1,0,0,250,1000,7.4,104.5,5000,4000,1000
+fig8b,hashmap,write,ebr,4,0,0,250,900,2.7,25502.2,5000,4000,1000
+fig8b,hashmap,write,tagibr,1,0,0,250,950,6.7,73.4,5000,4000,1000
+`
+	rows, err := ReadHarnessCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].Scheme != "ebr" || rows[1].Threads != 4 || rows[1].Space != 25502.2 {
+		t.Fatalf("row 1 = %+v", rows[1])
+	}
+	c := BuildFigure("fig8b", "mops", rows)
+	if len(c.Series) != 2 {
+		t.Fatalf("%d series, want 2 (ebr, tagibr)", len(c.Series))
+	}
+	if c.LogY {
+		t.Fatal("throughput chart must be linear")
+	}
+	cs := BuildFigure("fig8b", "space", rows)
+	if !cs.LogY {
+		t.Fatal("space chart must be log")
+	}
+	if cs.Series[0].Y[1] != 25502.2 {
+		t.Fatalf("space series = %+v", cs.Series[0])
+	}
+}
+
+func TestReadHarnessCSVErrors(t *testing.T) {
+	if _, err := ReadHarnessCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+	if _, err := ReadHarnessCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	bad := "experiment,structure,workload,scheme,threads,stalled,emptyfreq,duration_ms,ops,mops,avg_retired,allocs,frees,live\nx,h,w,ebr,NOPE,0,0,1,1,1,1,1,1,1\n"
+	if _, err := ReadHarnessCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+}
+
+func TestBuildFigureKsweepAxis(t *testing.T) {
+	rows := []Row{
+		{Scheme: "ebr", Threads: 4, Mops: 1, Space: 10, Empty: 30},
+		{Scheme: "ebr", Threads: 4, Mops: 2, Space: 20, Empty: 1},
+	}
+	c := BuildFigure("ksweep", "mops", rows)
+	if c.XLabel != "empty frequency k" {
+		t.Fatalf("xlabel = %q", c.XLabel)
+	}
+	// Sorted by emptyfreq: 1 before 30.
+	if c.Series[0].X[0] != 1 || c.Series[0].X[1] != 30 {
+		t.Fatalf("ksweep x = %v", c.Series[0].X)
+	}
+}
