@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress bench figs plots examples clean
+.PHONY: all build vet test race stress bench figs plots examples serve loadtest clean
 
 all: build vet test
 
@@ -34,6 +34,21 @@ figs:
 # …and render the SVG charts from it.
 plots:
 	$(GO) run ./cmd/ibrplot -i data -o data
+
+# Run the KV daemon in the foreground (Ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/ibrd -r hashmap -d tagibr -shards 4 -workers 2
+
+# End-to-end smoke: start ibrd, hammer it with ibrload for 2s, show the
+# /debug/vars gauges mid-run, and drain the daemon with SIGTERM.
+loadtest:
+	$(GO) build -o bin/ibrd ./cmd/ibrd
+	$(GO) build -o bin/ibrload ./cmd/ibrload
+	@./bin/ibrd -addr 127.0.0.1:4100 -http 127.0.0.1:4101 -r hashmap -d tagibr -shards 4 -workers 2 & \
+	pid=$$!; sleep 0.5; \
+	( sleep 1; curl -s http://127.0.0.1:4101/debug/vars | tr ',' '\n' | grep -E '"(ops|unreclaimed|max_epoch_lag)"' || true ) & \
+	./bin/ibrload -addr 127.0.0.1:4100 -c 8 -p 4 -i 2; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; exit $$rc
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -21,8 +21,8 @@ import (
 
 func main() {
 	var (
-		structure = flag.String("r", "hashmap", "rideable: "+strings.Join(ds.Structures()[:4], ", "))
-		tracker   = flag.String("d", "tracker=ebr", "memory manager, artifact-style: tracker=<name>; names: "+strings.Join(core.Names(), ", "))
+		structure = flag.String("r", "hashmap", "rideable: "+strings.Join(ds.MapStructures(), ", "))
+		tracker   = flag.String("d", "tracker=ebr", "memory manager, artifact-style: tracker=<name>; names: "+strings.Join(core.Schemes(), ", "))
 		threads   = flag.Int("t", 4, "worker thread count")
 		seconds   = flag.Float64("i", 1.0, "interval: run time in seconds")
 		mode      = flag.String("m", "write", "workload mode: write (50/50 ins/rem) or read (90% reads)")
@@ -41,6 +41,16 @@ func main() {
 	flag.Parse()
 
 	scheme := strings.TrimPrefix(*tracker, "tracker=")
+	if !ds.IsMapStructure(*structure) {
+		fmt.Fprintf(os.Stderr, "ibrbench: unknown structure %q; valid: %s\n",
+			*structure, strings.Join(ds.MapStructures(), ", "))
+		os.Exit(2)
+	}
+	if !core.IsScheme(scheme) {
+		fmt.Fprintf(os.Stderr, "ibrbench: unknown scheme %q; valid: %s\n",
+			scheme, strings.Join(core.Schemes(), ", "))
+		os.Exit(2)
+	}
 	wl := harness.WriteDominated
 	if *mode == "read" {
 		wl = harness.ReadDominated

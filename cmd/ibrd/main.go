@@ -1,0 +1,116 @@
+// Command ibrd is the network front end over the IBR data structures: a
+// sharded key-value daemon speaking the length-prefixed binary protocol of
+// internal/server. Each shard is an independent (structure × scheme) pair
+// served by a pool of tid-leased workers, so an unbounded population of
+// connection goroutines can drive reclamation schemes that require a small
+// fixed thread-id space.
+//
+//	ibrd -addr :4100 -http :4101 -r hashmap -d tagibr -shards 8 -workers 2
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests complete, responses
+// flush, retire lists are scanned at quiescence, then the process exits.
+// Metrics (per-shard throughput, queue depth, retired-but-unreclaimed,
+// epoch lag) are exported as JSON under "ibrd" on http://<http>/debug/vars.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ibr/internal/core"
+	"ibr/internal/ds"
+	"ibr/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":4100", "TCP listen address for the KV protocol")
+		httpAddr  = flag.String("http", ":4101", "HTTP listen address for /debug/vars (empty disables)")
+		structure = flag.String("r", "hashmap", "rideable: "+strings.Join(ds.MapStructures(), ", "))
+		scheme    = flag.String("d", "tagibr", "reclamation scheme: "+strings.Join(core.Schemes(), ", "))
+		shards    = flag.Int("shards", 8, "independent structure instances the key space is hashed across")
+		workers   = flag.Int("workers", 2, "tid-leased worker goroutines per shard")
+		queue     = flag.Int("queue", 4096, "per-shard request queue depth (beyond it clients see BUSY)")
+		inflight  = flag.Int("inflight", 128, "max pipelined requests per connection")
+		idle      = flag.Duration("idle", 5*time.Minute, "per-connection idle timeout")
+		epochf    = flag.Int("epochf", 150, "epoch advance frequency (per-worker allocations)")
+		emptyf    = flag.Int("emptyf", 30, "retire-list scan frequency (retirements)")
+		buckets   = flag.Int("buckets", 0, "hash map buckets per shard (0 = default)")
+		poolSlots = flag.Uint64("poolslots", 0, "node pool capacity per shard (0 = default)")
+	)
+	flag.Parse()
+
+	if !ds.IsMapStructure(*structure) {
+		fmt.Fprintf(os.Stderr, "ibrd: unknown structure %q; valid: %s\n",
+			*structure, strings.Join(ds.MapStructures(), ", "))
+		os.Exit(2)
+	}
+	if !core.IsScheme(*scheme) {
+		fmt.Fprintf(os.Stderr, "ibrd: unknown scheme %q; valid: %s\n",
+			*scheme, strings.Join(core.Schemes(), ", "))
+		os.Exit(2)
+	}
+	if !ds.SchemeSupports(*scheme, *structure) {
+		fmt.Fprintf(os.Stderr, "ibrd: scheme %q cannot run structure %q\n", *scheme, *structure)
+		os.Exit(2)
+	}
+
+	eng, err := server.NewEngine(server.EngineConfig{
+		Structure: *structure, Scheme: *scheme,
+		Shards: *shards, WorkersPerShard: *workers, QueueDepth: *queue,
+		EpochFreq: *epochf, EmptyFreq: *emptyf,
+		Buckets: *buckets, PoolSlots: *poolSlots,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibrd:", err)
+		os.Exit(1)
+	}
+	server.PublishVars("ibrd", eng)
+	srv := server.NewServer(eng, server.ServerConfig{MaxInflight: *inflight, IdleTimeout: *idle})
+
+	if *httpAddr != "" {
+		// Importing expvar (via internal/server) registers /debug/vars on
+		// the default mux; serving it is all that is left to do.
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ibrd: debug http:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	serveErr := make(chan error, 1)
+	go func() {
+		fmt.Printf("ibrd: serving %s × %s, %d shards × %d workers on %s (metrics on %s)\n",
+			*structure, *scheme, *shards, *workers, *addr, *httpAddr)
+		serveErr <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibrd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("ibrd: %v — draining\n", s)
+		srv.Shutdown()
+	}
+
+	var ops uint64
+	var unreclaimed int
+	for _, st := range eng.Stats() {
+		ops += st.Ops
+		unreclaimed += st.Unreclaimed
+	}
+	fmt.Printf("ibrd: drained: %d ops served over %d connections, %d blocks unreclaimed after final scan\n",
+		ops, srv.Accepted(), unreclaimed)
+}

@@ -1,0 +1,199 @@
+// Command ibrload drives an ibrd server from many pipelined connections
+// and reports throughput and latency quantiles; it doubles as the serving
+// layer's end-to-end smoke test (any protocol error exits non-zero).
+//
+//	ibrload -addr 127.0.0.1:4100 -c 8 -p 4 -i 2
+//
+// opens 8 connections with 4 closed-loop issuers each (pipeline depth 4
+// per connection, 32 outstanding requests overall) for 2 seconds and
+// prints Mops/s plus p50/p99/p999 from the merged per-issuer histograms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ibr/internal/harness"
+	"ibr/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4100", "ibrd server address")
+		conns    = flag.Int("c", 8, "client connections")
+		pipeline = flag.Int("p", 4, "concurrent issuers per connection (pipeline depth)")
+		seconds  = flag.Float64("i", 2.0, "measured run time in seconds")
+		mode     = flag.String("m", "write", "workload mode: write (50/50 put/del) or read (90% gets)")
+		keyRange = flag.Uint64("range", 65536, "key range")
+		prefill  = flag.Float64("prefill", 0.5, "fraction of the key range PUT before timing")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+	if *mode != "write" && *mode != "read" {
+		fmt.Fprintf(os.Stderr, "ibrload: unknown mode %q; valid: write, read\n", *mode)
+		os.Exit(2)
+	}
+
+	clients := make([]*server.Client, *conns)
+	for i := range clients {
+		cl, err := server.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibrload: dial %s: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		if err := cl.Ping(); err != nil {
+			fmt.Fprintln(os.Stderr, "ibrload:", err)
+			os.Exit(1)
+		}
+		clients[i] = cl
+	}
+
+	if *prefill > 0 {
+		if err := doPrefill(clients[0], *keyRange, *prefill, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ibrload: prefill:", err)
+			os.Exit(1)
+		}
+	}
+
+	// One issuer = one closed loop; pipelining comes from running p of
+	// them per connection, so every connection keeps p requests in flight.
+	type issuerOut struct {
+		hist                 harness.LatencyHist
+		ok, notFound, exists uint64
+		busy, protoErr       uint64
+		err                  error
+	}
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		outs = make([]issuerOut, *conns**pipeline)
+	)
+	start := time.Now()
+	for ci, cl := range clients {
+		for p := 0; p < *pipeline; p++ {
+			wg.Add(1)
+			go func(cl *server.Client, slot int) {
+				defer wg.Done()
+				out := &outs[slot]
+				rng := rand.New(rand.NewSource(*seed + int64(slot)*7919 + 1))
+				for !stop.Load() {
+					key := rng.Uint64() % *keyRange
+					op := server.OpPut
+					if *mode == "read" {
+						switch r := rng.Intn(100); {
+						case r < 90:
+							op = server.OpGet
+						case r < 95:
+							op = server.OpPut
+						default:
+							op = server.OpDel
+						}
+					} else if rng.Intn(2) == 0 {
+						op = server.OpDel
+					}
+					t0 := time.Now()
+					resp, err := cl.Do(op, key, key*2+1)
+					if err != nil {
+						out.err = err
+						return
+					}
+					out.hist.Record(time.Since(t0))
+					switch resp.Status {
+					case server.StatusOK:
+						out.ok++
+					case server.StatusNotFound:
+						out.notFound++
+					case server.StatusExists:
+						out.exists++
+					case server.StatusBusy:
+						out.busy++
+					default:
+						out.protoErr++
+					}
+				}
+			}(cl, ci**pipeline+p)
+		}
+	}
+	time.Sleep(time.Duration(*seconds * float64(time.Second)))
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total issuerOut
+	for i := range outs {
+		o := &outs[i]
+		total.hist.Merge(&o.hist)
+		total.ok += o.ok
+		total.notFound += o.notFound
+		total.exists += o.exists
+		total.busy += o.busy
+		total.protoErr += o.protoErr
+		if o.err != nil && total.err == nil {
+			total.err = o.err
+		}
+	}
+	ops := total.hist.Count()
+	fmt.Printf("ibrload: %d conns × %d pipeline, %s mode, %v\n", *conns, *pipeline, *mode, elapsed.Round(time.Millisecond))
+	fmt.Printf("  %d ops, %.4f Mops/s (ok %d, not-found %d, exists %d, busy %d)\n",
+		ops, float64(ops)/elapsed.Seconds()/1e6, total.ok, total.notFound, total.exists, total.busy)
+	fmt.Printf("  latency: %s\n", &total.hist)
+	if total.err != nil || total.protoErr > 0 {
+		fmt.Fprintf(os.Stderr, "ibrload: %d protocol errors, first transport error: %v\n", total.protoErr, total.err)
+		os.Exit(1)
+	}
+}
+
+// doPrefill PUTs ~frac of the key range through one client, fanning the
+// round trips out over a small issuer pool so a large range loads quickly.
+// On failure the issuers keep draining the feed (without issuing) so the
+// feeder can never block on a dead pool.
+func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64) error {
+	const issuers = 32
+	var (
+		keys   = make(chan uint64, issuers)
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		failed atomic.Bool
+	)
+	report := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for i := 0; i < issuers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range keys {
+				if failed.Load() {
+					continue
+				}
+				r, err := cl.Do(server.OpPut, k, k*2+1)
+				if err != nil {
+					report(err)
+				} else if r.Status != server.StatusOK && r.Status != server.StatusExists {
+					report(fmt.Errorf("prefill PUT %d: %v", k, r.Status))
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := uint64(0); k < keyRange; k++ {
+		if rng.Float64() < frac {
+			keys <- k
+		}
+	}
+	close(keys)
+	wg.Wait()
+	return first
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,10 +36,27 @@ func main() {
 	)
 	flag.Parse()
 
+	if !*all {
+		if !ds.IsMapStructure(*structure) {
+			fmt.Fprintf(os.Stderr, "ibrstress: unknown structure %q; valid: %s\n",
+				*structure, strings.Join(ds.MapStructures(), ", "))
+			os.Exit(2)
+		}
+		if !core.IsScheme(*scheme) {
+			fmt.Fprintf(os.Stderr, "ibrstress: unknown scheme %q; valid: %s\n",
+				*scheme, strings.Join(core.Schemes(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	// Print the effective seed up front (it defaults to the clock) so any
+	// failure — including in the -all path — is reproducible with -seed.
+	fmt.Printf("seed %d\n", *seed)
+
 	pairs := [][2]string{{*structure, *scheme}}
 	if *all {
 		pairs = nil
-		for _, st := range []string{"list", "hashmap", "nmtree", "bonsai", "skiplist"} {
+		for _, st := range ds.MapStructures() {
 			for _, sc := range core.Names() {
 				if ds.SchemeSupports(sc, st) {
 					pairs = append(pairs, [2]string{st, sc})

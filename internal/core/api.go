@@ -421,14 +421,28 @@ func DrainAll(s Scheme, threads int) {
 	}
 }
 
+// canonicalName resolves the accepted aliases ("nomm", "epoch", "2ge") to
+// their registry names; unknown strings pass through unchanged.
+func canonicalName(name string) string {
+	switch name {
+	case "nomm":
+		return "none"
+	case "epoch":
+		return "ebr"
+	case "2ge":
+		return "2geibr"
+	}
+	return name
+}
+
 // New constructs a scheme by registry name over the given Memory.
 // Names: "none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa",
-// "tagibr-wcas", "tagibr-tpa", "2geibr".
+// "tagibr-wcas", "tagibr-tpa", "2geibr" (aliases: "nomm", "epoch", "2ge").
 func New(name string, m Memory, o Options) (Scheme, error) {
-	switch name {
-	case "none", "nomm":
+	switch canonicalName(name) {
+	case "none":
 		return NewNoMM(m, o), nil
-	case "ebr", "epoch":
+	case "ebr":
 		return NewEBR(m, o), nil
 	case "hp":
 		return NewHP(m, o), nil
@@ -444,7 +458,7 @@ func New(name string, m Memory, o Options) (Scheme, error) {
 		return NewTagIBR(m, o, TagWCAS), nil
 	case "tagibr-tpa":
 		return NewTagIBR(m, o, TagTPA), nil
-	case "2geibr", "2ge":
+	case "2geibr":
 		return NewTwoGE(m, o), nil
 	}
 	return nil, fmt.Errorf("core: unknown scheme %q", name)
@@ -454,4 +468,24 @@ func New(name string, m Memory, o Options) (Scheme, error) {
 // use (NoMM first, then the baselines, then the IBR family).
 func Names() []string {
 	return []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa", "tagibr-wcas", "tagibr-tpa", "2geibr"}
+}
+
+// Schemes returns the registered scheme names sorted lexically — the form
+// command-line tools print when rejecting an unknown -d flag.
+func Schemes() []string {
+	out := append([]string(nil), Names()...)
+	sort.Strings(out)
+	return out
+}
+
+// IsScheme reports whether name (or one of its aliases) is a registered
+// scheme, without constructing one.
+func IsScheme(name string) bool {
+	c := canonicalName(name)
+	for _, n := range Names() {
+		if n == c {
+			return true
+		}
+	}
+	return false
 }

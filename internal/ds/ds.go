@@ -79,6 +79,22 @@ func Structures() []string {
 	return []string{"list", "hashmap", "nmtree", "bonsai", "skiplist", "stack", "msqueue"}
 }
 
+// MapStructures returns the registry names that implement Map (valid -r
+// values for the benchmark and server commands), sorted lexically.
+func MapStructures() []string {
+	return []string{"bonsai", "hashmap", "list", "nmtree", "skiplist"}
+}
+
+// IsMapStructure reports whether name names a Map structure.
+func IsMapStructure(name string) bool {
+	for _, n := range MapStructures() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // NewMap builds a key-value structure by name. "stack" and "msqueue" are
 // not Maps; use NewStack / NewQueue for those.
 func NewMap(structure string, cfg Config) (Map, error) {

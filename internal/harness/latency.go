@@ -40,28 +40,45 @@ func (h *LatencyHist) Merge(other *LatencyHist) {
 // Count returns the number of recorded operations.
 func (h *LatencyHist) Count() uint64 { return h.count }
 
-// Quantile returns an upper bound on the q-quantile latency (the top of
-// the bucket containing it). q in [0,1].
+// Quantile estimates the q-quantile latency (q in [0,1]; values outside
+// are clamped) by locating the bucket containing rank q·count and
+// interpolating linearly inside it: bucket i spans [2^i, 2^(i+1)) ns (with
+// bucket 0 starting at 1 ns, the recording floor). Quantile(0) is the
+// lower bound of the fastest non-empty bucket, Quantile(1) the upper bound
+// of the slowest, and the estimate is monotone in q.
 func (h *LatencyHist) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
+	if q < 0 {
+		q = 0
 	}
-	var seen uint64
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var seen float64
 	for i, c := range h.buckets {
-		seen += c
-		if seen > target {
-			return time.Duration(uint64(1) << (i + 1)) // bucket upper bound
+		if c == 0 {
+			continue
 		}
+		if seen+float64(c) >= target {
+			lo := float64(uint64(1) << i)
+			hi := float64(uint64(1) << (i + 1))
+			frac := (target - seen) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		seen += float64(c)
 	}
 	return time.Duration(uint64(1) << len(h.buckets))
 }
 
-// String renders the histogram's headline quantiles.
+// String renders the histogram's headline quantiles (interpolated
+// estimates, hence the "~").
 func (h *LatencyHist) String() string {
-	return fmt.Sprintf("n=%d p50<%v p99<%v p999<%v",
+	return fmt.Sprintf("n=%d p50~%v p99~%v p999~%v",
 		h.count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
 }

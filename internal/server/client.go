@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a pipelined connection to an ibrd server. It is safe for
+// concurrent use: many goroutines may call Do on one Client, requests are
+// coalesced into batched writes by a dedicated writer goroutine, and ids
+// match responses back to callers — so N concurrent callers give a natural
+// pipeline depth of N without any per-request connection state.
+type Client struct {
+	conn net.Conn
+	reqs chan reqFrame
+	done chan struct{} // closed by fail(): unblocks senders, stops the writer
+
+	pmu      sync.Mutex // guards pending, nextID, err
+	pending  map[uint32]chan result
+	nextID   uint32
+	err      error // first fatal error; set once, fails all later Dos
+	failOnce sync.Once
+}
+
+type reqFrame struct {
+	id       uint32
+	op       Op
+	key, val uint64
+}
+
+type result struct {
+	resp Resp
+	err  error
+}
+
+// Dial connects to an ibrd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cl := &Client{
+		conn:    conn,
+		reqs:    make(chan reqFrame, 256),
+		done:    make(chan struct{}),
+		pending: map[uint32]chan result{},
+	}
+	go cl.writeLoop()
+	go cl.readLoop()
+	return cl, nil
+}
+
+// writeLoop encodes requests and writes them in batches: one syscall
+// covers every request that arrived while the previous write was in
+// flight, which is where the pipeline's throughput comes from.
+func (c *Client) writeLoop() {
+	var buf []byte
+	for {
+		var r reqFrame
+		select {
+		case r = <-c.reqs:
+		case <-c.done:
+			return
+		}
+		buf = appendRequest(buf[:0], r.id, r.op, r.key, r.val)
+	coalesce:
+		for len(buf) < 16*1024 {
+			select {
+			case r = <-c.reqs:
+				buf = appendRequest(buf, r.id, r.op, r.key, r.val)
+			default:
+				break coalesce
+			}
+		}
+		if _, err := c.conn.Write(buf); err != nil {
+			c.fail(fmt.Errorf("server: write: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop dispatches responses to waiting callers by id. On any transport
+// or protocol error it fails every pending and future call.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	frame := make([]byte, respPayloadLen)
+	for {
+		payload, err := readFrame(br, respPayloadLen, frame)
+		if err != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		id, st, val := parseResponse(payload)
+		c.pmu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("server: response for unknown request id %d", id))
+			return
+		}
+		ch <- result{resp: Resp{Status: st, Val: val}}
+	}
+}
+
+// fail marks the client broken, stops the writer, and wakes every waiting
+// caller exactly once each (a caller's channel leaves pending the moment
+// anything is sent on it).
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	stranded := c.pending
+	c.pending = map[uint32]chan result{}
+	c.pmu.Unlock()
+	c.failOnce.Do(func() { close(c.done) })
+	for _, ch := range stranded {
+		ch <- result{err: err}
+	}
+}
+
+// Do issues one operation and blocks for its response. A non-nil error
+// means the connection is broken (no response will ever arrive); protocol
+// outcomes like StatusNotFound are returned in Resp, not as errors.
+func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
+	ch := make(chan result, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return Resp{}, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	select {
+	case c.reqs <- reqFrame{id: id, op: op, key: key, val: val}:
+	case <-c.done:
+		// The client failed while we were enqueueing; fail() has already
+		// delivered the error to ch (we registered before selecting).
+	}
+	r := <-ch
+	return r.resp, r.err
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	r, err := c.Do(OpPing, 0, 42)
+	if err != nil {
+		return err
+	}
+	if r.Status != StatusOK || r.Val != 42 {
+		return fmt.Errorf("server: ping got %v/%d", r.Status, r.Val)
+	}
+	return nil
+}
+
+// Close tears the connection down; in-flight Dos fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(fmt.Errorf("server: client closed"))
+	return err
+}

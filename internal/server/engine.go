@@ -1,0 +1,280 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ibr/internal/core"
+	"ibr/internal/ds"
+	"ibr/internal/epoch"
+)
+
+// Errors returned by Engine.Submit. In both cases the request was NOT
+// accepted and its done callback will never run.
+var (
+	errClosed = errors.New("server: engine is draining")
+	errBusy   = errors.New("server: shard queue full")
+
+	// ErrClosed is returned by Submit once Close has begun.
+	ErrClosed = errClosed
+	// ErrBusy is returned by Submit when the target shard's queue is full.
+	ErrBusy = errBusy
+)
+
+// EngineConfig sizes the sharded engine. The zero value of every field
+// selects a sensible default (hashmap × tagibr, 8 shards × 2 workers).
+type EngineConfig struct {
+	// Structure is a ds map registry name (default "hashmap").
+	Structure string
+	// Scheme is a core scheme registry name (default "tagibr").
+	Scheme string
+	// Shards is the number of independent ds.Map instances the key space
+	// is hashed across (default 8). Each shard has its own node pool,
+	// scheme instance, and worker pool, so shards never contend.
+	Shards int
+	// WorkersPerShard is the number of tid-leased worker goroutines per
+	// shard (default 2); it is also the scheme's Options.Threads.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's request backlog (default 4096);
+	// beyond it Submit returns ErrBusy.
+	QueueDepth int
+
+	// EpochFreq, EmptyFreq, Slots tune each shard's scheme (see
+	// core.Options); zero selects the paper's defaults.
+	EpochFreq, EmptyFreq, Slots int
+	// PoolSlots caps each shard's node pool (0 = mem.DefaultMaxSlots).
+	PoolSlots uint64
+	// Buckets sets the hash map bucket count per shard (0 = default).
+	Buckets int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Structure == "" {
+		c.Structure = "hashmap"
+	}
+	if c.Scheme == "" {
+		c.Scheme = "tagibr"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	return c
+}
+
+// Resp is the engine-level result of one operation.
+type Resp struct {
+	Status Status
+	Val    uint64
+}
+
+// request is one queued operation. done is invoked exactly once, on the
+// shard worker that executed the request; it must not block (connection
+// handlers guarantee buffer space via their in-flight cap).
+type request struct {
+	op       Op
+	key, val uint64
+	done     func(Resp)
+}
+
+// shard is one slice of the key space: a private structure + scheme +
+// worker pool. Workers are the only goroutines that ever touch m, each
+// under its leased tid, so the scheme's "one goroutine per tid" contract
+// holds no matter how many connections the server carries.
+type shard struct {
+	m    ds.Map
+	inst ds.Instrumented
+	q    *reqQueue
+	ops  atomic.Uint64
+}
+
+// Engine is the sharded KV engine behind the server.
+type Engine struct {
+	cfg       EngineConfig
+	shards    []*shard
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewEngine builds the shards and starts every worker. The workers idle on
+// their queues until Submit feeds them; Close stops them.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if !ds.SchemeSupports(cfg.Scheme, cfg.Structure) {
+		return nil, fmt.Errorf("server: scheme %q cannot run structure %q", cfg.Scheme, cfg.Structure)
+	}
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		m, err := ds.NewMap(cfg.Structure, ds.Config{
+			Scheme: cfg.Scheme,
+			Core: core.Options{
+				Threads:   cfg.WorkersPerShard,
+				EpochFreq: cfg.EpochFreq,
+				EmptyFreq: cfg.EmptyFreq,
+				Slots:     cfg.Slots,
+			},
+			PoolSlots: cfg.PoolSlots,
+			Buckets:   cfg.Buckets,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.shards[i] = &shard{m: m, inst: m.(ds.Instrumented), q: newReqQueue(cfg.QueueDepth)}
+	}
+	for _, sh := range e.shards {
+		for tid := 0; tid < cfg.WorkersPerShard; tid++ {
+			e.wg.Add(1)
+			go e.worker(sh, tid)
+		}
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// shardFor hashes a key to its shard. The SplitMix64 finalizer decorrelates
+// the shard choice from the hash map's in-shard Fibonacci bucket hash, so
+// dense key ranges spread over both levels independently.
+func shardFor(key uint64, n int) int {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int((z ^ (z >> 31)) % uint64(n))
+}
+
+// Submit enqueues one operation on its key's shard. If it returns nil,
+// done will be called exactly once (on a shard worker); if it returns
+// ErrClosed or ErrBusy, the operation was rejected and done is never
+// called. done must not block.
+func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
+	if !op.valid() {
+		return fmt.Errorf("server: invalid op %d", op)
+	}
+	sh := e.shards[shardFor(key, len(e.shards))]
+	return sh.q.push(request{op: op, key: key, val: val, done: done})
+}
+
+// Do runs one operation synchronously; tests and simple callers.
+func (e *Engine) Do(op Op, key, val uint64) (Resp, error) {
+	ch := make(chan Resp, 1)
+	if err := e.Submit(op, key, val, func(r Resp) { ch <- r }); err != nil {
+		return Resp{}, err
+	}
+	return <-ch, nil
+}
+
+// worker is one leased executor: it owns scheme tid `tid` of sh's scheme
+// for its whole lifetime and is, with its sibling workers, the only
+// goroutine that ever calls into sh.m. It drains the shard queue in
+// batches until the queue is closed and empty.
+func (e *Engine) worker(sh *shard, tid int) {
+	defer e.wg.Done()
+	var spill []request
+	for {
+		batch, ok := sh.q.popAll(spill)
+		if !ok {
+			return
+		}
+		for i := range batch {
+			r := &batch[i]
+			resp := e.exec(sh, tid, r)
+			sh.ops.Add(1)
+			r.done(resp)
+			batch[i] = request{} // release the done closure promptly
+		}
+		spill = batch
+	}
+}
+
+// exec runs one request under the worker's leased tid.
+func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
+	switch r.op {
+	case OpPing:
+		return Resp{Status: StatusOK, Val: r.val}
+	case OpGet:
+		if r.key >= ds.KeyLimit {
+			return Resp{Status: StatusBadRequest}
+		}
+		if v, ok := sh.m.Get(tid, r.key); ok {
+			return Resp{Status: StatusOK, Val: v}
+		}
+		return Resp{Status: StatusNotFound}
+	case OpPut:
+		if r.key >= ds.KeyLimit {
+			return Resp{Status: StatusBadRequest}
+		}
+		if sh.m.Insert(tid, r.key, r.val) {
+			return Resp{Status: StatusOK, Val: r.val}
+		}
+		return Resp{Status: StatusExists}
+	case OpDel:
+		if r.key >= ds.KeyLimit {
+			return Resp{Status: StatusBadRequest}
+		}
+		if sh.m.Remove(tid, r.key) {
+			return Resp{Status: StatusOK}
+		}
+		return Resp{Status: StatusNotFound}
+	}
+	return Resp{Status: StatusBadRequest}
+}
+
+// Close drains the engine: new Submits fail with ErrClosed, every already
+// accepted request is executed and completed, the workers exit, and each
+// shard's retire lists are scanned one last time at quiescence. It is
+// idempotent and safe to call concurrently with Submit.
+func (e *Engine) Close() {
+	// sync.Once blocks concurrent callers until the drain completes, so
+	// every Close returns only once the engine is fully quiescent.
+	e.closeOnce.Do(func() {
+		for _, sh := range e.shards {
+			sh.q.close()
+		}
+		e.wg.Wait()
+		for _, sh := range e.shards {
+			core.DrainAll(sh.inst.Scheme(), e.cfg.WorkersPerShard)
+		}
+	})
+}
+
+// ShardStats is one shard's metrics snapshot.
+type ShardStats struct {
+	Ops         uint64 // operations completed
+	QueueDepth  int    // current backlog
+	Unreclaimed int    // retired-but-unreclaimed blocks (Fig. 9's metric)
+	Epoch       uint64 // the shard scheme's current epoch (0 if epoch-free)
+	EpochLag    uint64 // epoch - oldest reserved lower endpoint, 0 when idle
+	Live        uint64 // live slots in the shard's node pool
+}
+
+// Stats snapshots every shard. Safe to call concurrently with serving.
+func (e *Engine) Stats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		st := ShardStats{
+			Ops:         sh.ops.Load(),
+			QueueDepth:  sh.q.depth(),
+			Unreclaimed: core.TotalUnreclaimed(sh.inst.Scheme(), e.cfg.WorkersPerShard),
+			Live:        sh.inst.PoolStats().Live(),
+		}
+		s := sh.inst.Scheme()
+		if c, ok := s.(interface{ Clock() *epoch.Clock }); ok {
+			st.Epoch = c.Clock().Now()
+			if r, ok := s.(interface{ Reservations() *epoch.Table }); ok {
+				if lo := r.Reservations().MinLower(); lo != epoch.None && lo <= st.Epoch {
+					st.EpochLag = st.Epoch - lo
+				}
+			}
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"expvar"
+)
+
+// statsSnapshot is the JSON shape exported on /debug/vars under "ibrd".
+type statsSnapshot struct {
+	Structure       string       `json:"structure"`
+	Scheme          string       `json:"scheme"`
+	Shards          int          `json:"shards"`
+	WorkersPerShard int          `json:"workers_per_shard"`
+	Ops             uint64       `json:"ops"`
+	QueueDepth      int          `json:"queue_depth"`
+	Unreclaimed     int          `json:"unreclaimed"`
+	Live            uint64       `json:"live"`
+	MaxEpochLag     uint64       `json:"max_epoch_lag"`
+	PerShard        []shardStats `json:"per_shard"`
+}
+
+type shardStats struct {
+	Ops         uint64 `json:"ops"`
+	QueueDepth  int    `json:"queue_depth"`
+	Unreclaimed int    `json:"unreclaimed"`
+	Epoch       uint64 `json:"epoch"`
+	EpochLag    uint64 `json:"epoch_lag"`
+	Live        uint64 `json:"live"`
+}
+
+// snapshot builds the exported view from a live Stats() pass.
+func (e *Engine) snapshot() statsSnapshot {
+	per := e.Stats()
+	out := statsSnapshot{
+		Structure:       e.cfg.Structure,
+		Scheme:          e.cfg.Scheme,
+		Shards:          e.cfg.Shards,
+		WorkersPerShard: e.cfg.WorkersPerShard,
+		PerShard:        make([]shardStats, len(per)),
+	}
+	for i, s := range per {
+		out.Ops += s.Ops
+		out.QueueDepth += s.QueueDepth
+		out.Unreclaimed += s.Unreclaimed
+		out.Live += s.Live
+		if s.EpochLag > out.MaxEpochLag {
+			out.MaxEpochLag = s.EpochLag
+		}
+		out.PerShard[i] = shardStats{
+			Ops: s.Ops, QueueDepth: s.QueueDepth, Unreclaimed: s.Unreclaimed,
+			Epoch: s.Epoch, EpochLag: s.EpochLag, Live: s.Live,
+		}
+	}
+	return out
+}
+
+// PublishVars registers the engine's metrics under the given expvar name
+// (conventionally "ibrd"); importing expvar's handler then serves them on
+// /debug/vars. Call at most once per name per process — expvar panics on
+// duplicate registration, so tests should use Engine.Stats directly.
+func PublishVars(name string, e *Engine) {
+	expvar.Publish(name, expvar.Func(func() any { return e.snapshot() }))
+}

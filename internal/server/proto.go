@@ -1,0 +1,165 @@
+// Package server is the serving layer over the IBR data structures: a
+// sharded key-value engine (engine.go) fronted by a length-prefixed binary
+// protocol (this file), a TCP server with graceful drain (server.go), and a
+// pipelined client (client.go) shared by cmd/ibrload and the tests.
+//
+// The architecturally new piece is the tid lease: every reclamation scheme
+// in internal/core assumes a small fixed thread-id space with one goroutine
+// per tid, while a network server faces an unbounded set of connection
+// goroutines. The engine closes that gap by giving each shard a private
+// pool of worker goroutines that each hold one scheme tid for their whole
+// lifetime; connection goroutines never touch a scheme — they enqueue
+// requests onto per-shard MPSC queues and the leased workers execute them
+// in batches (see DESIGN.md §"Serving layer").
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op is a wire operation code.
+type Op uint8
+
+const (
+	// OpPing is a no-op round trip; the server echoes Val.
+	OpPing Op = 1 + iota
+	// OpGet looks a key up: StatusOK + value, or StatusNotFound.
+	OpGet
+	// OpPut inserts key→val if absent: StatusOK, or StatusExists. The
+	// insert-if-absent semantics mirror ds.Map.Insert exactly, which keeps
+	// server histories checkable by internal/lincheck.
+	OpPut
+	// OpDel removes a key: StatusOK, or StatusNotFound.
+	OpDel
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// valid reports whether o is a known operation code.
+func (o Op) valid() bool { return o >= OpPing && o <= OpDel }
+
+// Status is a wire response code.
+type Status uint8
+
+const (
+	// StatusOK: the operation succeeded (Get hit, Put inserted, Del removed).
+	StatusOK Status = iota
+	// StatusNotFound: Get or Del on an absent key.
+	StatusNotFound
+	// StatusExists: Put on a present key (nothing changed).
+	StatusExists
+	// StatusBusy: the shard queue was full; retry later.
+	StatusBusy
+	// StatusShutdown: the server is draining and accepts no new work.
+	StatusShutdown
+	// StatusBadRequest: the request frame was malformed.
+	StatusBadRequest
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusExists:
+		return "EXISTS"
+	case StatusBusy:
+		return "BUSY"
+	case StatusShutdown:
+		return "SHUTDOWN"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Frame layout. Every frame is a 4-byte big-endian payload length followed
+// by the payload. Payloads are fixed-size per direction:
+//
+//	request:  id uint32 | op uint8  | key uint64 | val uint64   (21 bytes)
+//	response: id uint32 | st uint8  | val uint64                (13 bytes)
+//
+// id is a connection-scoped request identifier chosen by the client; the
+// server echoes it, so responses may complete out of order and clients can
+// pipeline arbitrarily deep. The explicit length prefix (rather than bare
+// fixed frames) keeps the protocol evolvable and lets both ends reject a
+// desynchronized stream immediately.
+const (
+	reqPayloadLen  = 21
+	respPayloadLen = 13
+	// maxFrame bounds any announced payload length; longer prefixes mean a
+	// desynchronized or hostile stream.
+	maxFrame = 1 << 10
+)
+
+// appendRequest appends one encoded request frame to b.
+func appendRequest(b []byte, id uint32, op Op, key, val uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, reqPayloadLen)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = append(b, byte(op))
+	b = binary.BigEndian.AppendUint64(b, key)
+	return binary.BigEndian.AppendUint64(b, val)
+}
+
+// appendResponse appends one encoded response frame to b.
+func appendResponse(b []byte, id uint32, st Status, val uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, respPayloadLen)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = append(b, byte(st))
+	return binary.BigEndian.AppendUint64(b, val)
+}
+
+// readFrame reads one length-prefixed payload into buf (reused across
+// calls) and returns it. want is the payload length this direction demands;
+// any other announced length is a protocol error.
+func readFrame(r *bufio.Reader, want int, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	if int(n) != want {
+		return nil, fmt.Errorf("server: frame length %d, want %d", n, want)
+	}
+	buf = buf[:want]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// parseRequest decodes a request payload (length already validated).
+func parseRequest(p []byte) (id uint32, op Op, key, val uint64) {
+	id = binary.BigEndian.Uint32(p[0:4])
+	op = Op(p[4])
+	key = binary.BigEndian.Uint64(p[5:13])
+	val = binary.BigEndian.Uint64(p[13:21])
+	return
+}
+
+// parseResponse decodes a response payload (length already validated).
+func parseResponse(p []byte) (id uint32, st Status, val uint64) {
+	id = binary.BigEndian.Uint32(p[0:4])
+	st = Status(p[4])
+	val = binary.BigEndian.Uint64(p[5:13])
+	return
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestProtoRequestRoundTrip(t *testing.T) {
+	var wire []byte
+	type req struct {
+		id       uint32
+		op       Op
+		key, val uint64
+	}
+	reqs := []req{
+		{0, OpPing, 0, 42},
+		{1, OpGet, 7, 0},
+		{2, OpPut, ^uint64(0), ^uint64(0)},
+		{4294967295, OpDel, 1 << 61, 3},
+	}
+	for _, r := range reqs {
+		wire = appendRequest(wire, r.id, r.op, r.key, r.val)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	buf := make([]byte, reqPayloadLen)
+	for _, want := range reqs {
+		p, err := readFrame(br, reqPayloadLen, buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		id, op, key, val := parseRequest(p)
+		if id != want.id || op != want.op || key != want.key || val != want.val {
+			t.Fatalf("got (%d %v %d %d), want %+v", id, op, key, val, want)
+		}
+	}
+	if _, err := readFrame(br, reqPayloadLen, buf); err == nil {
+		t.Fatal("expected EOF after last frame")
+	}
+}
+
+func TestProtoResponseRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = appendResponse(wire, 9, StatusExists, 77)
+	wire = appendResponse(wire, 10, StatusOK, 0)
+	br := bufio.NewReader(bytes.NewReader(wire))
+	buf := make([]byte, respPayloadLen)
+	p, err := readFrame(br, respPayloadLen, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, st, val := parseResponse(p); id != 9 || st != StatusExists || val != 77 {
+		t.Fatalf("got (%d %v %d)", id, st, val)
+	}
+	p, err = readFrame(br, respPayloadLen, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, st, val := parseResponse(p); id != 10 || st != StatusOK || val != 0 {
+		t.Fatalf("got (%d %v %d)", id, st, val)
+	}
+}
+
+func TestProtoRejectsBadLengths(t *testing.T) {
+	// Wrong announced length for the direction.
+	var wire []byte
+	wire = appendResponse(wire, 1, StatusOK, 0)
+	br := bufio.NewReader(bytes.NewReader(wire))
+	if _, err := readFrame(br, reqPayloadLen, make([]byte, reqPayloadLen)); err == nil {
+		t.Fatal("response-sized frame accepted as a request")
+	}
+	// Absurd length prefix: reject before attempting to read the payload.
+	huge := binary.BigEndian.AppendUint32(nil, maxFrame+1)
+	br = bufio.NewReader(bytes.NewReader(huge))
+	if _, err := readFrame(br, reqPayloadLen, make([]byte, reqPayloadLen)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

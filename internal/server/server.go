@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig tunes the network front end.
+type ServerConfig struct {
+	// MaxInflight caps the number of pipelined requests a single
+	// connection may have outstanding (default 128). The cap is what makes
+	// completion delivery non-blocking: the response channel has exactly
+	// MaxInflight slots, so a shard worker's done callback can never block
+	// on a slow or dead connection.
+	MaxInflight int
+	// IdleTimeout closes a connection that sends no frame for this long
+	// (default 5m). It doubles as the shutdown poll interval bound: a
+	// draining server is never stuck behind a silent peer.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response batch write (default 30s).
+	WriteTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 128
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server accepts connections and feeds their requests to an Engine.
+type Server struct {
+	cfg      ServerConfig
+	eng      *Engine
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	connWG   sync.WaitGroup
+	accepted atomic.Uint64
+	protoErr atomic.Uint64
+}
+
+// NewServer wraps an engine. The caller retains ownership of the engine
+// until Shutdown, which closes it after the last connection drains.
+func NewServer(eng *Engine, cfg ServerConfig) *Server {
+	return &Server{cfg: cfg.withDefaults(), eng: eng, conns: map[net.Conn]struct{}{}}
+}
+
+// Engine returns the engine behind the server (metrics, tests).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Accepted returns the number of connections accepted so far.
+func (s *Server) Accepted() uint64 { return s.accepted.Load() }
+
+// ProtoErrors returns the number of connections dropped for protocol
+// violations (bad frame length, unknown op).
+func (s *Server) ProtoErrors() uint64 { return s.protoErr.Load() }
+
+// Serve runs the accept loop on ln until Shutdown. It returns nil on
+// graceful shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			c.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		s.track(c, true)
+		s.connWG.Add(1)
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: stop accepting, kick every reader out of its
+// blocking read, let in-flight requests complete and their responses
+// flush, close the connections, then drain the engine. Every request whose
+// frame was fully read before shutdown receives exactly one response.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		// Wake blocked readers immediately; handle() sees draining and
+		// stops reading new frames instead of treating this as idleness.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.eng.Close()
+}
+
+// wireResp is one response ready to encode.
+type wireResp struct {
+	id uint32
+	r  Resp
+}
+
+// handle runs one connection: a reader loop (this goroutine) that parses
+// frames and submits them, and a writer goroutine that encodes completed
+// responses in batches. The in-flight semaphore bounds the gap between
+// them; outstanding tracks submitted-but-unwritten requests so shutdown
+// can wait for the tail.
+func (s *Server) handle(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.track(c, false)
+
+	var (
+		inflight    = make(chan struct{}, s.cfg.MaxInflight) // semaphore
+		resps       = make(chan wireResp, s.cfg.MaxInflight)
+		outstanding sync.WaitGroup
+		dead        atomic.Bool // writer hit a write error
+		writerDone  = make(chan struct{})
+	)
+
+	go func() { // writer
+		defer close(writerDone)
+		bw := bufio.NewWriter(c)
+		buf := make([]byte, 0, 64*respPayloadLen)
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if !dead.Load() {
+				if _, err := bw.Write(buf); err != nil || bw.Flush() != nil {
+					// Keep draining so done callbacks and the reader's
+					// semaphore never wedge on a dead peer.
+					dead.Store(true)
+					c.SetReadDeadline(time.Now())
+				}
+			}
+			buf = buf[:0]
+		}
+		for wr := range resps {
+			buf = appendResponse(buf, wr.id, wr.r.Status, wr.r.Val)
+			<-inflight
+			// Batch: keep encoding while more responses are ready, then
+			// flush the whole run in one write.
+			for len(buf) < cap(buf) {
+				select {
+				case more, ok := <-resps:
+					if !ok {
+						flush()
+						return
+					}
+					buf = appendResponse(buf, more.id, more.r.Status, more.r.Val)
+					<-inflight
+				default:
+					goto emit
+				}
+			}
+		emit:
+			flush()
+		}
+		flush()
+	}()
+
+	br := bufio.NewReader(c)
+	frame := make([]byte, reqPayloadLen)
+	for !dead.Load() {
+		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		payload, err := readFrame(br, reqPayloadLen, frame)
+		if err != nil {
+			var ne net.Error
+			switch {
+			case errors.As(err, &ne) && ne.Timeout():
+				// Shutdown kick or idle timeout: stop reading new frames
+				// either way; in-flight requests still complete below.
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				// Clean close by the peer.
+			default:
+				s.protoErr.Add(1) // malformed frame or mid-frame abort
+			}
+			break
+		}
+		id, op, key, val := parseRequest(payload)
+		// Reserve a semaphore slot before submitting: at most MaxInflight
+		// responses can ever be queued, so resps never blocks a worker.
+		inflight <- struct{}{}
+		outstanding.Add(1)
+		done := func(r Resp) {
+			resps <- wireResp{id: id, r: r}
+			outstanding.Done()
+		}
+		if !op.valid() {
+			done(Resp{Status: StatusBadRequest})
+			s.protoErr.Add(1)
+			continue
+		}
+		if err := s.eng.Submit(op, key, val, done); err != nil {
+			st := StatusBusy
+			if errors.Is(err, ErrClosed) {
+				st = StatusShutdown
+			}
+			done(Resp{Status: st})
+		}
+	}
+	outstanding.Wait() // every submitted request has enqueued its response
+	close(resps)
+	<-writerDone // responses flushed (or the conn is dead)
+	c.Close()
+}
