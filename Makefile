@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress bench figs plots examples serve loadtest clean
+.PHONY: all build vet test race stress bench benchscan figs plots examples serve loadtest clean
 
 all: build vet test
 
@@ -26,6 +26,15 @@ stress:
 # testing.B benchmarks: one family per paper figure + ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Scan-efficiency snapshot: short write-heavy and read-heavy cells, one JSON
+# line each in BENCH_scan.json (ops/s + scan stats; see cmd/ibrbench -json).
+benchscan:
+	rm -f BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m write -i 1 -json BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=ebr -t 4 -m write -i 1 -json BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m read -i 1 -json BENCH_scan.json
+	@cat BENCH_scan.json
 
 # Regenerate every figure's data (CSV + ASCII tables + stall curves)…
 figs:

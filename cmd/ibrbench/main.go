@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		stallMS   = flag.Int("stallms", 10, "stall duration per park (ms)")
 		seed      = flag.Int64("seed", 1, "workload RNG seed")
 		outPath   = flag.String("o", "", "append a CSV row to this file (header added if new)")
+		jsonPath  = flag.String("json", "", "append a machine-readable JSON line (ops/s + scan stats) to this file")
 		verbose   = flag.Bool("v", false, "print the full result")
 		lat       = flag.Bool("lat", false, "measure per-operation latency quantiles")
 	)
@@ -99,6 +101,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonPath != "" {
+		if err := appendJSON(*jsonPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "ibrbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is the BENCH_scan.json line format: one self-contained JSON
+// object per run, so CI and scripts can diff scan efficiency across commits
+// without parsing the human-oriented CSV.
+type benchRecord struct {
+	Structure        string  `json:"structure"`
+	Scheme           string  `json:"scheme"`
+	Threads          int     `json:"threads"`
+	Mode             string  `json:"mode"`
+	Seconds          float64 `json:"seconds"`
+	Ops              uint64  `json:"ops"`
+	Mops             float64 `json:"mops"`
+	AvgRetired       float64 `json:"avg_retired"`
+	Scans            uint64  `json:"scans"`
+	ScanExaminedMean float64 `json:"scan_examined_mean"`
+	ScanFreed        uint64  `json:"scan_freed"`
+	ExaminedPerFreed float64 `json:"examined_per_freed"`
+}
+
+func appendJSON(path string, res harness.Result) error {
+	rec := benchRecord{
+		Structure:        res.Structure,
+		Scheme:           res.Scheme,
+		Threads:          res.Threads,
+		Mode:             res.Workload.String(),
+		Seconds:          res.Duration.Seconds(),
+		Ops:              res.Ops,
+		Mops:             res.Mops,
+		AvgRetired:       res.AvgRetired,
+		Scans:            res.Scans,
+		ScanExaminedMean: res.ScanMeanLen,
+		ScanFreed:        res.ScanFreed,
+	}
+	if res.ScanFreed > 0 {
+		rec.ExaminedPerFreed = float64(res.ScanExamined) / float64(res.ScanFreed)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
 }
 
 func appendCSV(path string, res harness.Result) error {

@@ -10,7 +10,9 @@
 // SIGINT/SIGTERM drain gracefully: in-flight requests complete, responses
 // flush, retire lists are scanned at quiescence, then the process exits.
 // Metrics (per-shard throughput, queue depth, retired-but-unreclaimed,
-// epoch lag) are exported as JSON under "ibrd" on http://<http>/debug/vars.
+// epoch lag, reclamation-scan work) are exported as JSON under "ibrd" on
+// http://<http>/debug/vars; the connection front end's counters (accepted,
+// dropped connections, rejected frames) under "ibrd_server".
 package main
 
 import (
@@ -73,6 +75,7 @@ func main() {
 	}
 	server.PublishVars("ibrd", eng)
 	srv := server.NewServer(eng, server.ServerConfig{MaxInflight: *inflight, IdleTimeout: *idle})
+	server.PublishServerVars("ibrd_server", srv)
 
 	if *httpAddr != "" {
 		// Importing expvar (via internal/server) registers /debug/vars on

@@ -42,7 +42,10 @@ func BenchmarkAblationReadRevalidation(b *testing.B) {
 // BenchmarkAblationScanCost measures empty() as a function of retire-list
 // length — the quantity behind the single-CPU throughput inversion
 // documented in EXPERIMENTS.md. One pinned reservation keeps every block
-// unreclaimable, so each scan walks the full list.
+// unreclaimable. Historically each scan re-walked the full list (cost grew
+// with list-len); the summarized scan skips the pinned run in one binary
+// search, so the three sizes should now cost nearly the same per scan —
+// that flattening is the regression this benchmark watches.
 func BenchmarkAblationScanCost(b *testing.B) {
 	for _, listLen := range []int{32, 1024, 32768} {
 		b.Run(byLen(listLen), func(b *testing.B) {

@@ -71,6 +71,7 @@ func (p *Ptr) FetchOrMarks(m uint64) mem.Handle {
 type Memory interface {
 	Alloc(tid int) (mem.Handle, bool)
 	Free(tid int, h mem.Handle)
+	FreeBatch(tid int, hs []mem.Handle)
 	Birth(h mem.Handle) uint64
 	SetBirth(h mem.Handle, e uint64)
 	RetireEpoch(h mem.Handle) uint64
@@ -198,11 +199,12 @@ type threadState struct {
 	retireCount uint64
 	retired     []retiredBlock
 	unreclaimed atomic.Int64 // len(retired), readable by samplers
-	scratch     []uint64     // scan scratch (HP address / HE era snapshot)
-	ivScratch   []interval   // scan scratch (interval snapshot)
-	scans       uint64       // retire-list scans executed
-	scanned     uint64       // retired blocks examined across all scans
-	freed       uint64       // blocks reclaimed by scans
+	scratch     []uint64      // scan scratch (HP address / HE era snapshot)
+	sum         resSummary    // scan scratch (reservation summary)
+	freeScratch []mem.Handle  // scan scratch (blocks to free in one batch)
+	scans       atomic.Uint64 // retire-list scans executed
+	scanned     atomic.Uint64 // retired blocks examined across all scans
+	freed       atomic.Uint64 // blocks reclaimed by scans
 	_           [64]byte
 }
 
@@ -239,17 +241,22 @@ func (b *base) checkTid(tid int)        { _ = &b.ts[tid] }
 func (b *base) Clock() *epoch.Clock { return b.clock }
 
 // ScanStats aggregates reclamation-scan work across threads. Scanned/Scans
-// is the mean retire-list length at scan time: the per-retirement overhead
-// that lands on the critical path when no spare cores absorb it (see
-// EXPERIMENTS.md on the single-CPU throughput inversion). Callers should
-// read it at quiescence.
+// is the mean number of blocks *examined* per scan: the per-retirement
+// overhead that lands on the critical path when no spare cores absorb it
+// (see EXPERIMENTS.md on the single-CPU throughput inversion). With the
+// summarized scans this can be far below the retire-list length — runs of
+// still-protected blocks are skipped wholesale and EBR's scan stops at the
+// first unreclaimable block — which is exactly the improvement the counters
+// exist to surface. Callers should read it at quiescence.
 type ScanStats struct {
 	Scans   uint64 // empty() executions
-	Scanned uint64 // retired blocks examined (Σ list lengths)
+	Scanned uint64 // retired blocks examined (conflict tests actually run)
 	Freed   uint64 // blocks reclaimed
 }
 
-// MeanListLen returns the average retire-list length per scan.
+// MeanListLen returns the average number of blocks examined per scan.
+// (The name predates the summarized scans, under which examined ≤ list
+// length; it is kept for CSV/JSON column stability.)
 func (s ScanStats) MeanListLen() float64 {
 	if s.Scans == 0 {
 		return 0
@@ -257,13 +264,22 @@ func (s ScanStats) MeanListLen() float64 {
 	return float64(s.Scanned) / float64(s.Scans)
 }
 
+// ExaminedPerFreed returns the mean number of blocks examined per block
+// reclaimed — the scan efficiency metric of BENCH_scan.json.
+func (s ScanStats) ExaminedPerFreed() float64 {
+	if s.Freed == 0 {
+		return 0
+	}
+	return float64(s.Scanned) / float64(s.Freed)
+}
+
 // ScanStats sums the per-thread scan counters.
 func (b *base) ScanStats() ScanStats {
 	var out ScanStats
 	for i := range b.ts {
-		out.Scans += b.ts[i].scans
-		out.Scanned += b.ts[i].scanned
-		out.Freed += b.ts[i].freed
+		out.Scans += b.ts[i].scans.Load()
+		out.Scanned += b.ts[i].scanned.Load()
+		out.Freed += b.ts[i].freed.Load()
 	}
 	return out
 }
@@ -340,16 +356,19 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 }
 
 // scan walks tid's retire list, freeing every block for which canFree
-// returns true; it is the skeleton of every empty() in the paper.
+// returns true; it is the skeleton of the pointer-based empty() (HP). The
+// epoch and interval schemes use the cheaper scanRetiredBefore /
+// scanSummarized below. Freed blocks are returned to the allocator in one
+// batch at the end of the walk.
 func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
 	ts := &b.ts[tid]
-	ts.scans++
-	ts.scanned += uint64(len(ts.retired))
+	ts.scans.Add(1)
+	ts.scanned.Add(uint64(len(ts.retired)))
 	kept := ts.retired[:0]
+	free := ts.freeScratch[:0]
 	for _, rb := range ts.retired {
 		if canFree(rb) {
-			b.mem.Free(tid, rb.h)
-			ts.freed++
+			free = append(free, rb.h)
 		} else {
 			kept = append(kept, rb)
 		}
@@ -359,15 +378,56 @@ func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
 		ts.retired[i] = retiredBlock{}
 	}
 	ts.retired = kept
-	ts.unreclaimed.Store(int64(len(kept)))
+	ts.freeScratch = free
+	b.finishScan(tid, free)
 }
 
-// intervalConflict is the conflict test of Fig. 5 line 26 against a
-// snapshot of reservation intervals: block protected iff some interval
-// [lo,hi] satisfies birth <= hi && retire >= lo. The snapshot is taken once
-// per scan; each interval was published by its thread, and any thread that
-// read a pointer to a scanned block before its retirement had already
-// published a covering interval, so a snapshot sees it.
+// finishScan frees the collected batch and settles the counters.
+func (b *base) finishScan(tid int, free []mem.Handle) {
+	ts := &b.ts[tid]
+	ts.freed.Add(uint64(len(free)))
+	ts.unreclaimed.Store(int64(len(ts.retired)))
+	if len(free) > 0 {
+		b.mem.FreeBatch(tid, free)
+	}
+}
+
+// scanRetiredBefore is EBR's empty(): free every block retired strictly
+// before maxSafe. Because a thread's retire list is appended in retire-epoch
+// order (the global clock is monotone), the freeable blocks form a prefix —
+// the scan frees that prefix and stops at the first kept block instead of
+// re-walking the whole backlog, so a scan's cost is O(freed+1) no matter
+// how large a stalled reservation has let the list grow.
+func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
+	ts := &b.ts[tid]
+	ts.scans.Add(1)
+	list := ts.retired
+	free := ts.freeScratch[:0]
+	i := 0
+	for i < len(list) && list[i].retire < maxSafe {
+		free = append(free, list[i].h)
+		list[i] = retiredBlock{}
+		i++
+	}
+	if i < len(list) {
+		ts.scanned.Add(uint64(i) + 1) // the first kept block was examined too
+	} else {
+		ts.scanned.Add(uint64(i))
+	}
+	// Advance the slice instead of copying the kept suffix down: the dead
+	// prefix is dropped when the slice next grows past its capacity, and a
+	// scan's cost stays proportional to what it freed, not what it kept.
+	ts.retired = list[i:]
+	ts.freeScratch = free
+	b.finishScan(tid, free)
+}
+
+// interval is one reserved epoch range [lo, hi]. The conflict test of
+// Fig. 5 line 26: a block is protected iff some interval satisfies
+// birth <= hi && retire >= lo. The snapshot is taken once per scan; each
+// interval was published by its thread, and any thread that read a pointer
+// to a scanned block before its retirement had already published a covering
+// interval, so a snapshot sees it.
 type interval struct{ lo, hi uint64 }
 
 func (b *base) snapshotIntervals(buf []interval) []interval {
@@ -383,12 +443,9 @@ func (b *base) snapshotIntervals(buf []interval) []interval {
 	return buf
 }
 
-// snapshotIntervalsInto snapshots into tid's scratch buffer.
-func (b *base) snapshotIntervalsInto(tid int) []interval {
-	b.ts[tid].ivScratch = b.snapshotIntervals(b.ts[tid].ivScratch)
-	return b.ts[tid].ivScratch
-}
-
+// conflicts is the naive conflict test: a linear sweep over the snapshot
+// per block, O(|reservations|) each. It is the reference the summarized
+// test is checked against (props tests) — scans use resSummary instead.
 func conflicts(ivs []interval, birth, retire uint64) bool {
 	for _, iv := range ivs {
 		if birth <= iv.hi && retire >= iv.lo {
@@ -396,6 +453,149 @@ func conflicts(ivs []interval, birth, retire uint64) bool {
 		}
 	}
 	return false
+}
+
+// resSummary is a per-scan digest of the reservation intervals that turns
+// the naive O(|reservations|) per-block conflict sweep into O(1) for the
+// common cases and O(log |reservations|) in general:
+//
+//   - ivs sorted by lower endpoint with prefHi[i] = max(ivs[..i].hi) makes
+//     "∃ interval: birth <= hi && retire >= lo" equivalent to "among the
+//     intervals with lo <= retire (a sorted prefix, found by binary
+//     search), the max upper endpoint is >= birth".
+//   - minLower (= ivs[0].lo) gives the one-comparison fast path: a block
+//     with retire < minLower predates every reservation and is free.
+//   - [winLo, winHi] is the protected window of the interval with the
+//     largest upper endpoint (smallest such lo on ties): any block whose
+//     retire epoch falls inside it conflicts regardless of birth (birth <=
+//     retire <= winHi and retire >= winLo), so a run of consecutive blocks
+//     retired inside the window is kept wholesale without per-block tests.
+type resSummary struct {
+	ivs      []interval
+	prefHi   []uint64
+	minLower uint64 // epoch.None when no reservation is published
+	winLo    uint64 // protected window; winLo > winHi when empty
+	winHi    uint64
+}
+
+// build digests the snapshot (the slice is retained and re-sorted in
+// place).
+func (s *resSummary) build(ivs []interval) {
+	s.ivs = ivs
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	s.prefHi = s.prefHi[:0]
+	maxHi := uint64(0)
+	for _, iv := range ivs {
+		if iv.hi > maxHi {
+			maxHi = iv.hi
+		}
+		s.prefHi = append(s.prefHi, maxHi)
+	}
+	s.minLower = epoch.None
+	s.winLo, s.winHi = 1, 0 // empty window
+	if len(ivs) == 0 {
+		return
+	}
+	s.minLower = ivs[0].lo
+	s.winHi = maxHi
+	for _, iv := range ivs { // smallest lo among intervals reaching maxHi
+		if iv.hi == maxHi {
+			s.winLo = iv.lo
+			break
+		}
+	}
+}
+
+// conflicts is the summarized form of the Fig. 5 conflict test; it returns
+// exactly what conflicts(ivs, birth, retire) returns on the same snapshot
+// (the differential property test in scan_test.go proves the equivalence).
+func (s *resSummary) conflicts(birth, retire uint64) bool {
+	if retire < s.minLower {
+		return false
+	}
+	// Largest prefix of intervals with lo <= retire.
+	j := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].lo > retire })
+	return j > 0 && s.prefHi[j-1] >= birth
+}
+
+// summarize snapshots the reservation table into tid's summary scratch.
+func (b *base) summarize(tid int) *resSummary {
+	sum := &b.ts[tid].sum
+	sum.build(b.snapshotIntervals(sum.ivs))
+	return sum
+}
+
+// scanSummarized is the interval schemes' and HE's empty(): one summary per
+// scan, then a single pass over the retire list. The list is appended in
+// retire-epoch order, so the prefix of intervals with lo <= retire only
+// grows along the walk — the binary search degrades to an amortized-O(1)
+// merge pointer — and runs of blocks retired inside the protected window
+// are kept in one jump without examining them.
+func (b *base) scanSummarized(tid int, sum *resSummary) {
+	ts := &b.ts[tid]
+	ts.scans.Add(1)
+	list := ts.retired
+	kept := list[:0]
+	free := ts.freeScratch[:0]
+	examined := uint64(0)
+	j := 0                  // #intervals with lo <= current block's retire
+	prevRetire := uint64(0) // monotonicity guard for the merge pointer
+	for i := 0; i < len(list); i++ {
+		rb := list[i]
+		examined++
+		if rb.retire < sum.minLower {
+			// Fast path: retired before every reservation began.
+			free = append(free, rb.h)
+			continue
+		}
+		if sum.winLo <= rb.retire && rb.retire <= sum.winHi {
+			// Protected-window run: every consecutive block retired at
+			// or before winHi is kept without a per-block conflict test.
+			end := i + sort.Search(len(list)-i, func(k int) bool {
+				return list[i+k].retire > sum.winHi
+			})
+			prevRetire = list[end-1].retire
+			if len(kept) == i {
+				// Nothing freed ahead of the run: it is already in place,
+				// so a fully pinned backlog costs one binary search, not a
+				// backlog-sized memmove.
+				kept = list[:end]
+			} else {
+				kept = append(kept, list[i:end]...)
+			}
+			i = end - 1
+			j = sort.Search(len(sum.ivs), func(k int) bool { return sum.ivs[k].lo > prevRetire })
+			continue
+		}
+		if rb.retire < prevRetire {
+			// Defensive: retire order violated (cannot happen under a
+			// monotone clock) — fall back to a fresh binary search.
+			j = sort.Search(len(sum.ivs), func(k int) bool { return sum.ivs[k].lo > rb.retire })
+		} else {
+			for j < len(sum.ivs) && sum.ivs[j].lo <= rb.retire {
+				j++
+			}
+		}
+		prevRetire = rb.retire
+		if j > 0 && sum.prefHi[j-1] >= rb.birth {
+			kept = append(kept, rb)
+		} else {
+			free = append(free, rb.h)
+		}
+	}
+	ts.scanned.Add(examined)
+	for i := len(kept); i < len(list); i++ {
+		list[i] = retiredBlock{}
+	}
+	ts.retired = kept
+	ts.freeScratch = free
+	b.finishScan(tid, free)
+}
+
+// scanIntervals is the shared empty() of POIBR, TagIBR and 2GEIBR: digest
+// the reservation table once, then scan against the summary.
+func (b *base) scanIntervals(tid int) {
+	b.scanSummarized(tid, b.summarize(tid))
 }
 
 // sortedContains reports whether x occurs in the sorted slice s.

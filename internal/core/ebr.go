@@ -1,7 +1,6 @@
 package core
 
 import (
-	"ibr/internal/epoch"
 	"ibr/internal/mem"
 )
 
@@ -58,16 +57,13 @@ func (s *EBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
 	return p.bits.CompareAndSwap(uint64(old), uint64(new))
 }
 
-// Drain runs Fig. 2's empty(): free every block retired strictly before the
-// earliest reserved epoch.
+// Drain runs Fig. 2's empty(): free every block retired strictly before
+// the earliest reserved epoch. The freeable blocks form a prefix of the
+// retire list (it is appended in retire-epoch order), so the scan stops at
+// the first still-reserved block instead of re-walking the backlog; when no
+// thread is in an operation (MinLower == None) everything is freed.
 func (s *EBR) Drain(tid int) {
-	maxSafe := s.res.MinLower()
-	if maxSafe == epoch.None {
-		// No thread is in an operation: everything retired is free-able.
-		s.scan(tid, func(rb retiredBlock) bool { return true })
-		return
-	}
-	s.scan(tid, func(rb retiredBlock) bool { return rb.retire < maxSafe })
+	s.scanRetiredBefore(tid, s.res.MinLower())
 }
 
 // Robust is false: this is the defining weakness of EBR (§1, §2.2).

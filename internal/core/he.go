@@ -85,26 +85,21 @@ func (s *HE) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
 func (s *HE) Unreserve(tid, idx int) { s.eras[tid][idx].v.Store(0) }
 
 // Drain frees every retired block whose lifetime interval contains no
-// reserved era.
+// reserved era. A reserved era e is the degenerate interval [e, e], so the
+// scan reuses the interval summary: "some era in [birth, retire]" becomes
+// "the largest era <= retire is >= birth", one binary search per block.
 func (s *HE) Drain(tid int) {
-	ts := &s.ts[tid]
-	snap := ts.scratch[:0]
+	sum := &s.ts[tid].sum
+	snap := sum.ivs[:0]
 	for t := range s.eras {
 		for i := range s.eras[t] {
 			if v := s.eras[t][i].v.Load(); v != 0 {
-				snap = append(snap, v)
+				snap = append(snap, interval{v, v})
 			}
 		}
 	}
-	ts.scratch = snap
-	s.scan(tid, func(rb retiredBlock) bool {
-		for _, e := range snap {
-			if rb.birth <= e && e <= rb.retire {
-				return false
-			}
-		}
-		return true
-	})
+	sum.build(snap)
+	s.scanSummarized(tid, sum)
 }
 
 // Robust is true: a stalled thread reserves at most Slots eras, and each

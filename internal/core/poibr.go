@@ -72,13 +72,8 @@ func (s *POIBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
 }
 
 // Drain runs Fig. 4's empty(): free every block whose lifetime interval
-// contains no reserved epoch.
-func (s *POIBR) Drain(tid int) {
-	ivs := s.snapshotIntervalsInto(tid)
-	s.scan(tid, func(rb retiredBlock) bool {
-		return !conflicts(ivs, rb.birth, rb.retire)
-	})
-}
+// contains no reserved epoch, via the per-scan reservation summary.
+func (s *POIBR) Drain(tid int) { s.scanIntervals(tid) }
 
 // Robust is true (Theorem 2).
 func (s *POIBR) Robust() bool { return true }

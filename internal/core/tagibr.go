@@ -206,13 +206,8 @@ func (s *TagIBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
 }
 
 // Drain runs Fig. 5's empty(): free every block whose lifetime intersects
-// no reserved interval.
-func (s *TagIBR) Drain(tid int) {
-	ivs := s.snapshotIntervalsInto(tid)
-	s.scan(tid, func(rb retiredBlock) bool {
-		return !conflicts(ivs, rb.birth, rb.retire)
-	})
-}
+// no reserved interval, via the per-scan reservation summary.
+func (s *TagIBR) Drain(tid int) { s.scanIntervals(tid) }
 
 // Robust is true (Theorem 2): a stalled thread's frozen interval can cover
 // only blocks born at or before its upper endpoint.

@@ -72,13 +72,8 @@ func (s *TwoGE) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
 }
 
 // Drain runs empty() (shared with TagIBR): free every block whose lifetime
-// intersects no reserved interval.
-func (s *TwoGE) Drain(tid int) {
-	ivs := s.snapshotIntervalsInto(tid)
-	s.scan(tid, func(rb retiredBlock) bool {
-		return !conflicts(ivs, rb.birth, rb.retire)
-	})
-}
+// intersects no reserved interval, via the per-scan reservation summary.
+func (s *TwoGE) Drain(tid int) { s.scanIntervals(tid) }
 
 // Robust is true (Theorem 2).
 func (s *TwoGE) Robust() bool { return true }

@@ -121,12 +121,16 @@ type Result struct {
 	Latency *LatencyHist
 
 	// Scan work performed by the reclamation scheme (zero for NoMM):
-	// Scans is the number of empty() executions, ScanMeanLen the mean
-	// retire-list length per scan — the per-retirement overhead that lands
-	// on the critical path when every core is busy (see EXPERIMENTS.md).
-	Scans       uint64
-	ScanMeanLen float64
-	ScanFreed   uint64
+	// Scans is the number of empty() executions, ScanExamined the number of
+	// retired blocks those scans examined (conflict tests actually run —
+	// with the summarized scans this can be far below the retire-list
+	// length), ScanMeanLen = ScanExamined/Scans — the per-retirement
+	// overhead that lands on the critical path when every core is busy (see
+	// EXPERIMENTS.md).
+	Scans        uint64
+	ScanExamined uint64
+	ScanMeanLen  float64
+	ScanFreed    uint64
 
 	PerThreadOps []uint64
 }
@@ -295,6 +299,7 @@ func Run(cfg Config) (Result, error) {
 	if ss, ok := scheme.(interface{ ScanStats() core.ScanStats }); ok {
 		stats := ss.ScanStats()
 		res.Scans = stats.Scans
+		res.ScanExamined = stats.Scanned
 		res.ScanMeanLen = stats.MeanListLen()
 		res.ScanFreed = stats.Freed
 	}

@@ -175,6 +175,15 @@ func (p *Pool[T]) Alloc(tid int) (Handle, bool) {
 // slots off the bump region (growing a slab if needed). Returns false only
 // on exhaustion.
 func (p *Pool[T]) refill(c *threadCache) bool {
+	// Size the cache for the copy before taking freeMu: the append under
+	// the allocator's only global lock must never have to grow the slice,
+	// or one thread's cache reallocation stalls every other thread's
+	// refill and spill.
+	if cap(c.slots)-len(c.slots) < refillBatch {
+		grown := make([]uint64, len(c.slots), len(c.slots)+refillBatch)
+		copy(grown, c.slots)
+		c.slots = grown
+	}
 	p.freeMu.Lock()
 	if n := len(p.freeList); n > 0 {
 		take := refillBatch
@@ -218,11 +227,10 @@ func (p *Pool[T]) ensureSlab(gid uint64) {
 	}
 }
 
-// Free returns a slot to the allocator. The slot must be Live (never
-// published; e.g. discarded by a failed CAS before linking) or Retired
-// (reclaimed by a scheme). Freeing a Free slot panics: that is a double
-// free, one of the two bugs (§2.1) this whole system exists to prevent.
-func (p *Pool[T]) Free(tid int, h Handle) {
+// release runs the per-slot part of a free: the state transition, the
+// reuse-stamp bump and the poison. It returns the slot id for the caller
+// to put on a free list.
+func (p *Pool[T]) release(h Handle) uint64 {
 	gid, ok := h.Slot()
 	if !ok {
 		panic("mem: Free of nil handle")
@@ -236,6 +244,15 @@ func (p *Pool[T]) Free(tid int, h Handle) {
 	if p.poison != nil {
 		p.poison(p.Get(h))
 	}
+	return gid
+}
+
+// Free returns a slot to the allocator. The slot must be Live (never
+// published; e.g. discarded by a failed CAS before linking) or Retired
+// (reclaimed by a scheme). Freeing a Free slot panics: that is a double
+// free, one of the two bugs (§2.1) this whole system exists to prevent.
+func (p *Pool[T]) Free(tid int, h Handle) {
+	gid := p.release(h)
 	c := &p.caches[tid]
 	c.frees.Add(1)
 	c.slots = append(c.slots, gid)
@@ -245,6 +262,30 @@ func (p *Pool[T]) Free(tid int, h Handle) {
 		p.freeList = append(p.freeList, c.slots[n-refillBatch:]...)
 		p.freeMu.Unlock()
 		c.slots = c.slots[:n-refillBatch]
+	}
+}
+
+// FreeBatch frees every handle in hs under Free's lifecycle rules, with at
+// most one acquisition of the global free-list lock for the whole batch
+// instead of one potential freeMu round-trip per slot. Reclamation scans
+// use it to return everything a scan freed in one go.
+func (p *Pool[T]) FreeBatch(tid int, hs []Handle) {
+	if len(hs) == 0 {
+		return
+	}
+	c := &p.caches[tid]
+	for _, h := range hs {
+		c.slots = append(c.slots, p.release(h))
+	}
+	c.frees.Add(uint64(len(hs)))
+	if len(c.slots) > cacheCap {
+		// Spill down to the same low-water mark Free's per-slot hysteresis
+		// converges to, in one critical section.
+		spill := len(c.slots) - (cacheCap - refillBatch)
+		p.freeMu.Lock()
+		p.freeList = append(p.freeList, c.slots[len(c.slots)-spill:]...)
+		p.freeMu.Unlock()
+		c.slots = c.slots[:len(c.slots)-spill]
 	}
 }
 

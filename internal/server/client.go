@@ -137,8 +137,19 @@ func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
 		c.pmu.Unlock()
 		return Resp{}, err
 	}
+	// After nextID wraps uint32, the counter can land on an id whose
+	// request is still in flight; assigning it again would overwrite the
+	// earlier caller's channel in pending and strand that caller forever.
+	// Skip ids that are still pending (there are at most MaxInflight-ish
+	// of them, so this terminates after a handful of probes).
 	id := c.nextID
-	c.nextID++
+	for {
+		if _, taken := c.pending[id]; !taken {
+			break
+		}
+		id++
+	}
+	c.nextID = id + 1
 	c.pending[id] = ch
 	c.pmu.Unlock()
 

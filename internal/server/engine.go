@@ -171,6 +171,12 @@ func (e *Engine) Do(op Op, key, val uint64) (Resp, error) {
 	return <-ch, nil
 }
 
+// maxSpillCap bounds the batch buffer a worker keeps between queue pops.
+// Without it one backlog burst pins a backlog-peak-sized backing array per
+// worker for the engine's lifetime; oversized buffers are dropped and the
+// next pop starts from a fresh, demand-sized allocation.
+const maxSpillCap = 256
+
 // worker is one leased executor: it owns scheme tid `tid` of sh's scheme
 // for its whole lifetime and is, with its sibling workers, the only
 // goroutine that ever calls into sh.m. It drains the shard queue in
@@ -190,8 +196,17 @@ func (e *Engine) worker(sh *shard, tid int) {
 			r.done(resp)
 			batch[i] = request{} // release the done closure promptly
 		}
-		spill = batch
+		spill = trimSpill(batch)
 	}
+}
+
+// trimSpill recycles batch as the next pop's backing buffer, dropping it
+// once a burst has grown it past maxSpillCap.
+func trimSpill(batch []request) []request {
+	if cap(batch) > maxSpillCap {
+		return nil
+	}
+	return batch
 }
 
 // exec runs one request under the worker's leased tid.
@@ -253,6 +268,11 @@ type ShardStats struct {
 	Epoch       uint64 // the shard scheme's current epoch (0 if epoch-free)
 	EpochLag    uint64 // epoch - oldest reserved lower endpoint, 0 when idle
 	Live        uint64 // live slots in the shard's node pool
+
+	// Scan is the shard scheme's reclamation-scan work (zero for NoMM):
+	// how often workers scanned their retire lists, how many blocks those
+	// scans examined, and how many they freed.
+	Scan core.ScanStats
 }
 
 // Stats snapshots every shard. Safe to call concurrently with serving.
@@ -266,6 +286,9 @@ func (e *Engine) Stats() []ShardStats {
 			Live:        sh.inst.PoolStats().Live(),
 		}
 		s := sh.inst.Scheme()
+		if sc, ok := s.(interface{ ScanStats() core.ScanStats }); ok {
+			st.Scan = sc.ScanStats()
+		}
 		if c, ok := s.(interface{ Clock() *epoch.Clock }); ok {
 			st.Epoch = c.Clock().Now()
 			if r, ok := s.(interface{ Reservations() *epoch.Table }); ok {

@@ -190,5 +190,35 @@ func TestEngineStats(t *testing.T) {
 	if got := fmt.Sprintf("%d", snap.Shards); got != "2" {
 		t.Fatalf("shards = %s", got)
 	}
+	// A delete-heavy run with EmptyFreq 4 must have scanned retire lists and
+	// freed blocks; the scan counters ride ShardStats into the snapshot.
+	if snap.Scans == 0 || snap.ScanFreed == 0 {
+		t.Fatalf("scan stats missing from snapshot: %+v", snap)
+	}
+	if snap.ScanExamined < snap.ScanFreed {
+		t.Fatalf("examined %d < freed %d: scans cannot free more than they examine",
+			snap.ScanExamined, snap.ScanFreed)
+	}
+	var perShardScans uint64
+	for _, sh := range snap.PerShard {
+		perShardScans += sh.Scans
+	}
+	if perShardScans != snap.Scans {
+		t.Fatalf("per-shard scans %d do not sum to total %d", perShardScans, snap.Scans)
+	}
 	eng.Close()
+}
+
+// TestTrimSpill checks the worker's batch-buffer recycling stays bounded: a
+// modest batch is reused, a burst-sized one is dropped so its backing array
+// is not pinned for the engine's lifetime.
+func TestTrimSpill(t *testing.T) {
+	small := make([]request, 0, maxSpillCap)
+	if got := trimSpill(small); cap(got) != maxSpillCap {
+		t.Fatalf("cap-%d buffer not recycled (cap %d)", maxSpillCap, cap(got))
+	}
+	big := make([]request, 0, maxSpillCap+1)
+	if got := trimSpill(big); got != nil {
+		t.Fatalf("cap-%d buffer recycled; want dropped", cap(big))
+	}
 }

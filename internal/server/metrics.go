@@ -15,16 +15,23 @@ type statsSnapshot struct {
 	Unreclaimed     int          `json:"unreclaimed"`
 	Live            uint64       `json:"live"`
 	MaxEpochLag     uint64       `json:"max_epoch_lag"`
+	Scans           uint64       `json:"scans"`
+	ScanExamined    uint64       `json:"scan_examined"`
+	ScanFreed       uint64       `json:"scan_freed"`
+	ScanMeanLen     float64      `json:"scan_examined_mean"`
 	PerShard        []shardStats `json:"per_shard"`
 }
 
 type shardStats struct {
-	Ops         uint64 `json:"ops"`
-	QueueDepth  int    `json:"queue_depth"`
-	Unreclaimed int    `json:"unreclaimed"`
-	Epoch       uint64 `json:"epoch"`
-	EpochLag    uint64 `json:"epoch_lag"`
-	Live        uint64 `json:"live"`
+	Ops          uint64 `json:"ops"`
+	QueueDepth   int    `json:"queue_depth"`
+	Unreclaimed  int    `json:"unreclaimed"`
+	Epoch        uint64 `json:"epoch"`
+	EpochLag     uint64 `json:"epoch_lag"`
+	Live         uint64 `json:"live"`
+	Scans        uint64 `json:"scans"`
+	ScanExamined uint64 `json:"scan_examined"`
+	ScanFreed    uint64 `json:"scan_freed"`
 }
 
 // snapshot builds the exported view from a live Stats() pass.
@@ -42,13 +49,20 @@ func (e *Engine) snapshot() statsSnapshot {
 		out.QueueDepth += s.QueueDepth
 		out.Unreclaimed += s.Unreclaimed
 		out.Live += s.Live
+		out.Scans += s.Scan.Scans
+		out.ScanExamined += s.Scan.Scanned
+		out.ScanFreed += s.Scan.Freed
 		if s.EpochLag > out.MaxEpochLag {
 			out.MaxEpochLag = s.EpochLag
 		}
 		out.PerShard[i] = shardStats{
 			Ops: s.Ops, QueueDepth: s.QueueDepth, Unreclaimed: s.Unreclaimed,
 			Epoch: s.Epoch, EpochLag: s.EpochLag, Live: s.Live,
+			Scans: s.Scan.Scans, ScanExamined: s.Scan.Scanned, ScanFreed: s.Scan.Freed,
 		}
+	}
+	if out.Scans > 0 {
+		out.ScanMeanLen = float64(out.ScanExamined) / float64(out.Scans)
 	}
 	return out
 }
@@ -59,4 +73,27 @@ func (e *Engine) snapshot() statsSnapshot {
 // duplicate registration, so tests should use Engine.Stats directly.
 func PublishVars(name string, e *Engine) {
 	expvar.Publish(name, expvar.Func(func() any { return e.snapshot() }))
+}
+
+// serverSnapshot is the JSON shape exported by PublishServerVars: the
+// connection front end's counters, with dropped connections and rejected
+// frames reported separately (they mean different things — see
+// ProtoDropped/ProtoRejected).
+type serverSnapshot struct {
+	Accepted          uint64 `json:"accepted"`
+	ConnsDroppedProto uint64 `json:"conns_dropped_proto"`
+	FramesRejected    uint64 `json:"frames_rejected"`
+}
+
+// PublishServerVars registers the server's connection counters under the
+// given expvar name (conventionally "ibrd_server"). Same single-
+// registration caveat as PublishVars.
+func PublishServerVars(name string, s *Server) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return serverSnapshot{
+			Accepted:          s.Accepted(),
+			ConnsDroppedProto: s.ProtoDropped(),
+			FramesRejected:    s.ProtoRejected(),
+		}
+	}))
 }

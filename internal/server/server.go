@@ -49,9 +49,10 @@ type Server struct {
 	ln    net.Listener
 	conns map[net.Conn]struct{}
 
-	connWG   sync.WaitGroup
-	accepted atomic.Uint64
-	protoErr atomic.Uint64
+	connWG        sync.WaitGroup
+	accepted      atomic.Uint64
+	protoDropped  atomic.Uint64
+	protoRejected atomic.Uint64
 }
 
 // NewServer wraps an engine. The caller retains ownership of the engine
@@ -66,9 +67,22 @@ func (s *Server) Engine() *Engine { return s.eng }
 // Accepted returns the number of connections accepted so far.
 func (s *Server) Accepted() uint64 { return s.accepted.Load() }
 
-// ProtoErrors returns the number of connections dropped for protocol
-// violations (bad frame length, unknown op).
-func (s *Server) ProtoErrors() uint64 { return s.protoErr.Load() }
+// ProtoDropped returns the number of connections dropped for protocol
+// violations the reader cannot recover from (bad frame length, a
+// desynchronized or mid-frame-aborted stream).
+func (s *Server) ProtoDropped() uint64 { return s.protoDropped.Load() }
+
+// ProtoRejected returns the number of well-framed requests carrying an
+// invalid op. Those frames are answered with StatusBadRequest and the
+// connection stays alive — they are rejected frames, not dropped
+// connections.
+func (s *Server) ProtoRejected() uint64 { return s.protoRejected.Load() }
+
+// ProtoErrors returns ProtoDropped() + ProtoRejected().
+//
+// Deprecated: the two counts mean different things (a lost connection vs a
+// survivable bad frame); use the split counters.
+func (s *Server) ProtoErrors() uint64 { return s.protoDropped.Load() + s.protoRejected.Load() }
 
 // Serve runs the accept loop on ln until Shutdown. It returns nil on
 // graceful shutdown and the accept error otherwise.
@@ -224,7 +238,7 @@ func (s *Server) handle(c net.Conn) {
 			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
 				// Clean close by the peer.
 			default:
-				s.protoErr.Add(1) // malformed frame or mid-frame abort
+				s.protoDropped.Add(1) // malformed frame or mid-frame abort
 			}
 			break
 		}
@@ -239,7 +253,7 @@ func (s *Server) handle(c net.Conn) {
 		}
 		if !op.valid() {
 			done(Resp{Status: StatusBadRequest})
-			s.protoErr.Add(1)
+			s.protoRejected.Add(1)
 			continue
 		}
 		if err := s.eng.Submit(op, key, val, done); err != nil {

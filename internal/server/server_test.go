@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
 	"net"
@@ -227,11 +228,15 @@ func TestServerRejectsGarbage(t *testing.T) {
 	}
 	raw.Close()
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.ProtoErrors() == 0 {
+	for srv.ProtoDropped() == 0 {
 		if time.Now().After(deadline) {
-			t.Fatal("protocol error not counted")
+			t.Fatal("dropped connection not counted")
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// A desynchronized stream is a dropped connection, not a rejected frame.
+	if n := srv.ProtoRejected(); n != 0 {
+		t.Fatalf("ProtoRejected = %d after a garbage stream, want 0", n)
 	}
 	// A well-behaved client still works.
 	cl, err := Dial(addr)
@@ -242,6 +247,110 @@ func TestServerRejectsGarbage(t *testing.T) {
 	if err := cl.Ping(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestServerRejectsBadOp checks the other half of the protocol-error split:
+// a well-framed request with an unknown op code is answered with
+// StatusBadRequest on a connection that stays fully usable, and lands in
+// ProtoRejected — not ProtoDropped.
+func TestServerRejectsBadOp(t *testing.T) {
+	addr, srv := startTestServer(t,
+		EngineConfig{Shards: 1, WorkersPerShard: 1},
+		ServerConfig{})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(5 * time.Second))
+
+	frame := appendRequest(nil, 7, Op(99), 1, 2)
+	frame = appendRequest(frame, 8, OpPing, 0, 42) // valid op on the same conn
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(raw)
+	got := map[uint32]Status{}
+	for i := 0; i < 2; i++ {
+		payload, err := readFrame(br, respPayloadLen, make([]byte, respPayloadLen))
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		id, st, _ := parseResponse(payload)
+		got[id] = st
+	}
+	if got[7] != StatusBadRequest {
+		t.Fatalf("bad-op response = %v, want BAD_REQUEST", got[7])
+	}
+	if got[8] != StatusOK {
+		t.Fatalf("ping after bad op = %v, want OK (connection must survive)", got[8])
+	}
+	if n := srv.ProtoRejected(); n != 1 {
+		t.Fatalf("ProtoRejected = %d, want 1", n)
+	}
+	if n := srv.ProtoDropped(); n != 0 {
+		t.Fatalf("ProtoDropped = %d, want 0 (the connection was never dropped)", n)
+	}
+	if sum := srv.ProtoErrors(); sum != 1 {
+		t.Fatalf("ProtoErrors = %d, want the split counters' sum 1", sum)
+	}
+}
+
+// TestClientIDWrapSkipsPending pins the id-assignment bug: after nextID
+// wraps uint32, the counter can land on an id whose request is still in
+// flight; reusing it would overwrite that caller's channel in pending and
+// strand it forever. Do must probe past pending ids instead.
+func TestClientIDWrapSkipsPending(t *testing.T) {
+	addr, _ := startTestServer(t,
+		EngineConfig{Shards: 1, WorkersPerShard: 1},
+		ServerConfig{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Simulate the post-wrap collision: park a fake in-flight request on the
+	// exact id the counter will hand out next.
+	stranded := make(chan result, 1)
+	cl.pmu.Lock()
+	cl.nextID = 5
+	cl.pending[5] = stranded
+	cl.pmu.Unlock()
+
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+
+	cl.pmu.Lock()
+	ch, still := cl.pending[5]
+	next := cl.nextID
+	cl.pmu.Unlock()
+	if !still || ch != stranded {
+		t.Fatal("pending id 5 was overwritten by a wrapped id assignment")
+	}
+	if len(stranded) != 0 {
+		t.Fatal("stranded channel received a response routed to the wrong caller")
+	}
+	if next != 9 { // 5 skipped; pings took 6, 7, 8
+		t.Fatalf("nextID = %d, want 9 (id 5 skipped, three pings issued)", next)
+	}
+
+	// The literal wrap: the counter rolls through MaxUint32 to 0 without
+	// colliding or losing responses.
+	cl.pmu.Lock()
+	cl.nextID = ^uint32(0)
+	cl.pmu.Unlock()
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("post-wrap ping %d: %v", i, err)
+		}
+	}
+	cl.pmu.Lock()
+	delete(cl.pending, 5)
+	cl.pmu.Unlock()
 }
 
 // TestServerPipelining issues a burst of concurrent requests over one
