@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress bench benchscan figs plots examples serve loadtest clean
+.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# ibrlint: the go/analysis suite enforcing the IBR reservation protocol
+# (StartOp/EndOp bracketing, retire-before-free, birth-epoch stamping,
+# atomic/plain access discipline). See DESIGN.md and cmd/ibrlint.
+lint:
+	$(GO) build -o bin/ibrlint ./cmd/ibrlint
+	$(GO) vet -vettool=$(CURDIR)/bin/ibrlint ./...
+
 test:
 	$(GO) test ./...
+
+# Full suite with the ibrdebug assertions compiled into mem.Pool.Get:
+# use-after-free and stale-epoch dereferences become deterministic panics.
+testdebug:
+	$(GO) test -tags ibrdebug ./...
 
 race:
 	$(GO) test -race ./...

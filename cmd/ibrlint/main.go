@@ -1,0 +1,47 @@
+// Command ibrlint statically enforces the IBR reservation protocol over
+// this repository. It is a go/analysis unitchecker driver, meant to be run
+// through the go command, which supplies package loading, export data, and
+// caching:
+//
+//	go build -o bin/ibrlint ./cmd/ibrlint
+//	go vet -vettool=bin/ibrlint ./...
+//
+// (That is exactly what `make lint` does.) The suite:
+//
+//	derefguard   shared-memory accesses in internal/ds stay inside the
+//	             StartOp/EndOp reservation bracket
+//	endop        every StartOp is matched by EndOp on all return paths
+//	retirefree   only internal/core and internal/mem may Free directly;
+//	             data structures must Scheme.Retire
+//	epochstamp   allocator handles are birth-stamped (SetBirth) before
+//	             they escape; structures allocate via Scheme.Alloc
+//	atomicmix    a word accessed through sync/atomic is never accessed
+//	             plainly elsewhere
+//	ibrdirective //ibrlint:ignore directives carry a reason
+//
+// False positives are suppressed with `//ibrlint:ignore <reason>` on the
+// flagged line, the line above it, or the doc comment of the enclosing
+// function. The reason string is mandatory.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ibr/internal/analysis/atomicmix"
+	"ibr/internal/analysis/derefguard"
+	"ibr/internal/analysis/endop"
+	"ibr/internal/analysis/epochstamp"
+	"ibr/internal/analysis/ibrdirective"
+	"ibr/internal/analysis/retirefree"
+)
+
+func main() {
+	unitchecker.Main(
+		derefguard.Analyzer,
+		endop.Analyzer,
+		retirefree.Analyzer,
+		epochstamp.Analyzer,
+		atomicmix.Analyzer,
+		ibrdirective.Analyzer,
+	)
+}

@@ -1,0 +1,135 @@
+// Package atomicmix flags mixed atomic/plain access to the same memory
+// word: a struct field or package-level variable that is passed to a
+// sync/atomic function anywhere in the package must never be read or
+// written plainly elsewhere. The plain access is invisible to the memory
+// model and races with every atomic one — the bug class behind the
+// historical Pool.refill data race in this repository.
+//
+// Fields of the typed atomic.* wrappers cannot be accessed plainly without
+// unsafe, so the analyzer only tracks words reached through the functional
+// sync/atomic API (atomic.LoadUint64(&x.f), atomic.AddUint64(&x.f, 1), ...).
+// Composite-literal keys are exempt: initialization before publication is
+// the idiomatic way to seed such fields.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ibr/internal/analysis/ibrlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "check that words accessed through sync/atomic are never read or written plainly",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := ibrlint.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: every &x.f (or &v) handed to a sync/atomic function marks the
+	// variable as atomically accessed; remember the idents inside those
+	// arguments so pass 2 does not count them as plain uses.
+	atomicVars := make(map[*types.Var]token.Pos)
+	inAtomicArg := make(map[*ast.Ident]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if v := addressedVar(pass.TypesInfo, un.X); v != nil {
+				if _, have := atomicVars[v]; !have {
+					atomicVars[v] = un.Pos()
+				}
+			}
+			ast.Inspect(un, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					inAtomicArg[id] = true
+				}
+				return true
+			})
+		}
+	})
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other use of those variables is a plain (racy) access.
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		id := n.(*ast.Ident)
+		if inAtomicArg[id] {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		at, tracked := atomicVars[v]
+		if !tracked || compositeLitKey(id, stack) {
+			return true
+		}
+		rep.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic at %s; every access to an atomic word must be atomic", v.Name(), shortPos(pass, at))
+		return true
+	})
+	return nil, nil
+}
+
+// addressedVar resolves the operand of an & expression to a struct field or
+// package-level variable, the cases where a second, plain access path to
+// the same word can plausibly exist. Locals whose address is taken are
+// skipped: &local handed to atomic is ordinary single-threaded setup.
+func addressedVar(info *types.Info, x ast.Expr) *types.Var {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj().(*types.Var)
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// compositeLitKey reports whether id is the key of a keyed composite
+// literal entry (S{f: 0}).
+func compositeLitKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-3].(*ast.CompositeLit)
+	return ok
+}
+
+func shortPos(pass *analysis.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

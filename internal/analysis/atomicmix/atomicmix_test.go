@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/atomicmix"
+	"ibr/internal/analysis/checktest"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "atomicbad", atomicmix.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	checktest.Run(t, "atomicok", atomicmix.Analyzer)
+}

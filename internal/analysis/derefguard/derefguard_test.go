@@ -1,0 +1,16 @@
+package derefguard_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/derefguard"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "derefbad/internal/ds", derefguard.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	checktest.Run(t, "derefok/internal/ds", derefguard.Analyzer)
+}

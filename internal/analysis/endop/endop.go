@@ -1,0 +1,217 @@
+// Package endop checks that every StartOp reservation is withdrawn: on
+// every path from a StartOp call to a return (or to falling off the end of
+// the function), either a plain EndOp call has closed the bracket or a
+// `defer EndOp` is pending. A leaked reservation pins the reclamation clock
+// for the rest of the run — the "leaked reservation" misuse class — so the
+// suggested fix is `defer s.EndOp(tid)` right after StartOp.
+//
+// internal/core is exempt (the schemes implement the bracket; e.g.
+// EBR.RestartOp legitimately calls StartOp with no EndOp), as are test
+// files, which simulate stalled threads by parking open reservations.
+package endop
+
+import (
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"ibr/internal/analysis/ibrlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "endop",
+	Doc:      "check that every StartOp is matched by EndOp on all return paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+type evKind int
+
+const (
+	evStart evKind = iota
+	evEnd
+	evDeferEnd
+)
+
+type event struct {
+	kind evKind
+	pos  token.Pos
+}
+
+// state is a bitset over (open, covered) pairs: bit (open<<1|covered) set
+// means some path reaches this point with that bracket status. covered
+// means a defer'd EndOp is pending for the rest of the function.
+type state uint8
+
+const stateEntry state = 1 << 0 // closed, uncovered
+
+func run(pass *analysis.Pass) (any, error) {
+	if ibrlint.PkgIs(pass.Pkg.Path(), ibrlint.CorePkg) {
+		return nil, nil
+	}
+	rep := ibrlint.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		if ibrlint.TestFile(pass, n.Pos()) {
+			return
+		}
+		var g *cfg.CFG
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			g = cfgs.FuncDecl(n)
+		case *ast.FuncLit:
+			g = cfgs.FuncLit(n)
+		}
+		if g != nil {
+			checkFunc(pass, rep, g)
+		}
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, rep *ibrlint.Reporter, g *cfg.CFG) {
+	blocks := g.Blocks
+	events := make([][]event, len(blocks))
+	index := make(map[*cfg.Block]int, len(blocks))
+	firstStart := token.NoPos
+	for i, b := range blocks {
+		index[b] = i
+		for _, n := range b.Nodes {
+			events[i] = append(events[i], nodeEvents(pass, n)...)
+		}
+		for _, ev := range events[i] {
+			if ev.kind == evStart && (!firstStart.IsValid() || ev.pos < firstStart) {
+				firstStart = ev.pos
+			}
+		}
+	}
+	if !firstStart.IsValid() {
+		return // no StartOp in this function
+	}
+
+	in := make([]state, len(blocks))
+	in[0] = stateEntry
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(in[i], events[i])
+		for _, succ := range blocks[i].Succs {
+			j := index[succ]
+			if in[j]|out == in[j] && in[j] != 0 {
+				continue
+			}
+			in[j] |= out
+			work = append(work, j)
+		}
+	}
+
+	for i, b := range blocks {
+		if in[i] == 0 || len(b.Succs) > 0 {
+			continue
+		}
+		if !isReturnOrFalloff(b) {
+			continue // ends in panic or another no-return call
+		}
+		out := transfer(in[i], events[i])
+		// Any (open, uncovered) status reaching a function exit leaks.
+		if out&(1<<(1<<1|0)) != 0 {
+			rep.Reportf(firstStart, "StartOp is not matched by EndOp on every return path; add `defer EndOp` right after it")
+			return
+		}
+	}
+}
+
+func transfer(s state, evs []event) state {
+	for _, ev := range evs {
+		var next state
+		for bits := 0; bits < 4; bits++ {
+			if s&(1<<bits) == 0 {
+				continue
+			}
+			open, covered := bits>>1 == 1, bits&1 == 1
+			switch ev.kind {
+			case evStart:
+				open = true
+			case evEnd:
+				open = false
+			case evDeferEnd:
+				covered = true
+			}
+			nb := 0
+			if open {
+				nb |= 1 << 1
+			}
+			if covered {
+				nb |= 1
+			}
+			next |= 1 << nb
+		}
+		s = next
+	}
+	return s
+}
+
+// nodeEvents extracts StartOp / EndOp / defer-EndOp events from one CFG
+// node, skipping nested closures (checked on their own).
+func nodeEvents(pass *analysis.Pass, node ast.Node) []event {
+	var evs []event
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if deferredEndOp(pass, n) {
+				evs = append(evs, event{kind: evDeferEnd, pos: n.Pos()})
+			}
+			return false
+		case *ast.CallExpr:
+			if ibrlint.CoreCall(pass.TypesInfo, n, "StartOp") != nil {
+				evs = append(evs, event{kind: evStart, pos: n.Pos()})
+			} else if ibrlint.CoreCall(pass.TypesInfo, n, "EndOp") != nil {
+				evs = append(evs, event{kind: evEnd, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// deferredEndOp reports whether d defers an EndOp call, either directly
+// (`defer s.EndOp(tid)`) or via an immediate closure that calls it.
+func deferredEndOp(pass *analysis.Pass, d *ast.DeferStmt) bool {
+	if ibrlint.CoreCall(pass.TypesInfo, d.Call, "EndOp") != nil {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && ibrlint.CoreCall(pass.TypesInfo, call, "EndOp") != nil {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// isReturnOrFalloff reports whether an exit block represents a normal
+// function exit (explicit return or falling off the end) rather than a
+// call to a no-return function such as panic.
+func isReturnOrFalloff(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return true
+	}
+	switch b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ExprStmt:
+		return false // no-return call (panic, log.Fatal, ...)
+	}
+	return true
+}

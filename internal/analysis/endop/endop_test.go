@@ -1,0 +1,16 @@
+package endop_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/endop"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "endbad/internal/ds", endop.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	checktest.Run(t, "endok/internal/ds", endop.Analyzer)
+}

@@ -1,0 +1,294 @@
+// Package epochstamp enforces birth-epoch stamping (paper §3, Figs. 4–5):
+// every block handed out by the raw allocator must have its birth epoch
+// recorded before the handle can be published, or interval trackers would
+// compare reservations against a stale (zero) birth and reclaim live blocks.
+//
+// Two rules:
+//
+//   - inside internal/core (non-test files), a successful two-result
+//     allocator Alloc must be followed by SetBirth on the returned handle,
+//     on every path, before the handle escapes the function (is returned,
+//     stored, or passed to another call);
+//   - everywhere else, calling the two-result allocator Alloc at all is
+//     flagged: data structures must allocate through Scheme.Alloc, which
+//     advances the epoch clock and stamps the birth (schemes that do not
+//     tag births, like EBR, make that an explicit //ibrlint:ignore).
+package epochstamp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"ibr/internal/analysis/ibrlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "epochstamp",
+	Doc:      "check that allocator Alloc results are birth-stamped (SetBirth) before the handle escapes",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inCore := ibrlint.PkgIs(pass.Pkg.Path(), ibrlint.CorePkg)
+	if ibrlint.PkgIs(pass.Pkg.Path(), ibrlint.MemPkg) ||
+		ibrlint.PkgInProtocol(pass.Pkg.Path()) && !inCore {
+		return nil, nil // the allocator itself is out of scope
+	}
+	rep := ibrlint.NewReporter(pass)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, f := range pass.Files {
+		if ibrlint.TestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !inCore {
+				flagRawAllocs(pass, rep, fd.Body)
+				continue
+			}
+			if g := cfgs.FuncDecl(fd); g != nil {
+				checkStamped(pass, rep, g)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// flagRawAllocs reports every two-result allocator Alloc outside the
+// reclamation core: there is no way to stamp a birth epoch out there.
+func flagRawAllocs(pass *analysis.Pass, rep *ibrlint.Reporter, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ibrlint.AllocCall(pass.TypesInfo, call) {
+			rep.Reportf(call.Pos(), "raw allocator Alloc bypasses birth-epoch stamping; allocate through Scheme.Alloc")
+		}
+		return true
+	})
+}
+
+// --- in-core dataflow: Alloc must reach SetBirth before the handle escapes.
+
+type evKind int
+
+const (
+	evAlloc evKind = iota // var := Alloc(...): handle is live and unstamped
+	evStamp               // SetBirth(var, ...) or reassignment: stamped/dead
+	evUse                 // var escapes (return / call arg / store)
+)
+
+type event struct {
+	kind evKind
+	v    int // index into the function's tracked alloc variables
+	pos  token.Pos
+}
+
+func checkStamped(pass *analysis.Pass, rep *ibrlint.Reporter, g *cfg.CFG) {
+	// Collect the variables assigned from allocator Alloc calls.
+	vars := make(map[types.Object]int)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+					return true
+				}
+				call, ok := as.Rhs[0].(*ast.CallExpr)
+				if !ok || !ibrlint.AllocCall(pass.TypesInfo, call) {
+					return true
+				}
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := objectOf(pass.TypesInfo, id); obj != nil {
+						if _, have := vars[obj]; !have {
+							vars[obj] = len(vars)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+
+	blocks := g.Blocks
+	events := make([][]event, len(blocks))
+	index := make(map[*cfg.Block]int, len(blocks))
+	for i, b := range blocks {
+		index[b] = i
+		for _, n := range b.Nodes {
+			events[i] = append(events[i], nodeEvents(pass, n, vars)...)
+		}
+	}
+
+	// in[i] = bitset of variables that may be live-and-unstamped.
+	in := make([]uint64, len(blocks))
+	seen := make([]bool, len(blocks))
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(in[i], events[i])
+		for _, succ := range blocks[i].Succs {
+			j := index[succ]
+			if seen[j] && in[j]|out == in[j] {
+				continue
+			}
+			in[j] |= out
+			seen[j] = true
+			work = append(work, j)
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for i := range blocks {
+		if !seen[i] {
+			continue
+		}
+		s := in[i]
+		for _, ev := range events[i] {
+			switch ev.kind {
+			case evAlloc:
+				s |= 1 << ev.v
+			case evStamp:
+				s &^= 1 << ev.v
+			case evUse:
+				if s&(1<<ev.v) != 0 && !reported[ev.pos] {
+					reported[ev.pos] = true
+					rep.Reportf(ev.pos, "allocated handle escapes before SetBirth stamps its birth epoch (interval invariant, paper §3)")
+				}
+			}
+		}
+	}
+}
+
+func transfer(s uint64, evs []event) uint64 {
+	for _, ev := range evs {
+		switch ev.kind {
+		case evAlloc:
+			s |= 1 << ev.v
+		case evStamp:
+			s &^= 1 << ev.v
+		}
+	}
+	return s
+}
+
+// nodeEvents extracts alloc/stamp/use events for the tracked variables from
+// one CFG node, in source order.
+func nodeEvents(pass *analysis.Pass, node ast.Node, vars map[types.Object]int) []event {
+	var evs []event
+	var walk func(n ast.Node)
+	emitUses := func(n ast.Node) {
+		if n != nil {
+			walk(n)
+		}
+	}
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				// var := Alloc(...): alloc event; the Lhs idents are
+				// definitions, not uses. A plain reassignment of a tracked
+				// var kills it (the unstamped handle is discarded).
+				if len(n.Rhs) == 1 && len(n.Lhs) == 2 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok && ibrlint.AllocCall(pass.TypesInfo, call) {
+						emitUses(call)
+						if id, ok := n.Lhs[0].(*ast.Ident); ok {
+							if obj := objectOf(pass.TypesInfo, id); obj != nil {
+								if v, have := vars[obj]; have {
+									evs = append(evs, event{kind: evAlloc, v: v, pos: n.Pos()})
+								}
+							}
+						}
+						return false
+					}
+				}
+				for _, rhs := range n.Rhs {
+					emitUses(rhs)
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := objectOf(pass.TypesInfo, id); obj != nil {
+							if v, have := vars[obj]; have {
+								evs = append(evs, event{kind: evStamp, v: v, pos: n.Pos()})
+							}
+							continue
+						}
+					}
+					emitUses(lhs) // *p, s.f, a[i] — any tracked var inside is a use
+				}
+				return false
+			case *ast.CallExpr:
+				// SetBirth(h, e): stamps h. Pure Handle-inspection methods
+				// on the tracked var (h.IsNil() etc.) are not escapes.
+				info := pass.TypesInfo
+				if ibrlint.MemCall(info, n, "SetBirth") != nil || ibrlint.CoreCall(info, n, "SetBirth") != nil {
+					if len(n.Args) > 0 {
+						if id, ok := n.Args[0].(*ast.Ident); ok {
+							if obj := objectOf(info, id); obj != nil {
+								if v, have := vars[obj]; have {
+									for _, a := range n.Args[1:] {
+										emitUses(a)
+									}
+									evs = append(evs, event{kind: evStamp, v: v, pos: n.Pos()})
+									return false
+								}
+							}
+						}
+					}
+				}
+				if fn := ibrlint.MethodCallee(info, n); fn != nil && ibrlint.IsMethod(fn, ibrlint.MemPkg, fn.Name()) {
+					if recv := fn.Signature().Recv(); recv != nil && namedTypeName(recv.Type()) == "Handle" {
+						// h.Method(...): walk args only, skip the receiver.
+						for _, a := range n.Args {
+							emitUses(a)
+						}
+						return false
+					}
+				}
+				return true
+			case *ast.Ident:
+				if obj := objectOf(pass.TypesInfo, n); obj != nil {
+					if v, have := vars[obj]; have {
+						evs = append(evs, event{kind: evUse, v: v, pos: n.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(node)
+	return evs
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(interface{ Obj() *types.TypeName }); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

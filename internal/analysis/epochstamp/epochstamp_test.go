@@ -1,0 +1,20 @@
+package epochstamp_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/epochstamp"
+)
+
+func TestInCoreFlagged(t *testing.T) {
+	checktest.Run(t, "stampbad/internal/core", epochstamp.Analyzer)
+}
+
+func TestInCoreClean(t *testing.T) {
+	checktest.Run(t, "stampok/internal/core", epochstamp.Analyzer)
+}
+
+func TestRawAllocOutsideCore(t *testing.T) {
+	checktest.Run(t, "stampraw/internal/ds", epochstamp.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package ibrdirective validates the //ibrlint: control comments
+// themselves: an //ibrlint:ignore must carry a reason string (a bare ignore
+// suppresses nothing), and unknown verbs are flagged so a typo like
+// //ibrlint:ingore does not silently disable a suppression.
+package ibrdirective
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ibr/internal/analysis/ibrlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ibrdirective",
+	Doc:  "validate //ibrlint: directives (ignore requires a reason)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, reason, ok := ibrlint.DirectiveReason(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case verb != "ignore":
+					pass.Reportf(c.Pos(), "unknown ibrlint directive %q (only //ibrlint:ignore <reason> is recognized)", strings.TrimSpace(verb))
+				case reason == "":
+					pass.Reportf(c.Pos(), "//ibrlint:ignore without a reason suppresses nothing; document why the finding is a false positive")
+				}
+			}
+		}
+	}
+	return nil, nil
+}

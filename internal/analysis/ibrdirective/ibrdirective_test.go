@@ -1,0 +1,17 @@
+package ibrdirective_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/ibrdirective"
+	"ibr/internal/analysis/retirefree"
+)
+
+// TestEscapeHatch runs retirefree and ibrdirective together over the
+// escape-hatch golden package: valid //ibrlint:ignore directives suppress
+// the retirefree finding, while bare or misspelled directives suppress
+// nothing and are themselves reported.
+func TestEscapeHatch(t *testing.T) {
+	checktest.Run(t, "ignorecase/internal/ds", retirefree.Analyzer, ibrdirective.Analyzer)
+}

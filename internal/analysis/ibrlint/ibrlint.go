@@ -1,0 +1,96 @@
+// Package ibrlint carries the shared machinery of the IBR protocol
+// analyzers: package scoping, call-site classification against the
+// reservation API (core.Scheme, core.Ptr, mem.Pool), and the
+// //ibrlint:ignore escape hatch.
+//
+// The analyzers match protocol calls by method name plus declaring-package
+// suffix ("internal/core", "internal/mem") rather than by type identity, so
+// the same analyzers run unchanged over this repository and over the golden
+// packages under internal/analysis/testdata (whose stub packages reuse the
+// real import-path suffixes).
+package ibrlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// CorePkg and MemPkg are the import-path suffixes of the packages that
+// define the reservation protocol surface.
+const (
+	CorePkg = "internal/core"
+	MemPkg  = "internal/mem"
+)
+
+// PkgIs reports whether path is suffix or ends in "/"+suffix.
+func PkgIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// PkgInProtocol reports whether path belongs to the protocol implementation
+// itself (internal/core or internal/mem), including their external test
+// packages ("..._test").
+func PkgInProtocol(path string) bool {
+	trimmed := strings.TrimSuffix(path, "_test")
+	return PkgIs(trimmed, CorePkg) || PkgIs(trimmed, MemPkg)
+}
+
+// MethodCallee resolves call to the statically-known method it invokes
+// (interface or concrete). It returns nil for non-methods, builtins, and
+// dynamic calls through function values.
+func MethodCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, ok := typeutil.Callee(info, call).(*types.Func)
+	if !ok || fn.Signature().Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// IsMethod reports whether fn is a method named name declared in a package
+// whose import path ends in pkgSuffix.
+func IsMethod(fn *types.Func, pkgSuffix string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || !PkgIs(fn.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreCall returns the invoked method if call invokes a method with one of
+// the given names declared in internal/core (the Scheme interface, the
+// concrete schemes, or Ptr), else nil.
+func CoreCall(info *types.Info, call *ast.CallExpr, names ...string) *types.Func {
+	if fn := MethodCallee(info, call); IsMethod(fn, CorePkg, names...) {
+		return fn
+	}
+	return nil
+}
+
+// MemCall is CoreCall for methods declared in internal/mem (Pool).
+func MemCall(info *types.Info, call *ast.CallExpr, names ...string) *types.Func {
+	if fn := MethodCallee(info, call); IsMethod(fn, MemPkg, names...) {
+		return fn
+	}
+	return nil
+}
+
+// AllocCall reports whether call is the allocator-level Alloc — the
+// two-result (Handle, bool) form of mem.Pool / core.Memory — as opposed to
+// the one-result Scheme.Alloc that stamps the birth epoch.
+func AllocCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := MethodCallee(info, call)
+	if fn == nil || fn.Name() != "Alloc" {
+		return false
+	}
+	if !IsMethod(fn, CorePkg, "Alloc") && !IsMethod(fn, MemPkg, "Alloc") {
+		return false
+	}
+	return fn.Signature().Results().Len() == 2
+}

@@ -1,0 +1,108 @@
+package ibrlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// IgnorePrefix is the comment prefix of the suppression directive. A valid
+// directive is "//ibrlint:ignore <reason>" — the reason is mandatory; a bare
+// //ibrlint:ignore suppresses nothing and is itself flagged by the
+// ibrdirective analyzer.
+const IgnorePrefix = "//ibrlint:ignore"
+
+// DirectiveReason splits an //ibrlint: comment into its verb and reason.
+// ok is false when text is not an ibrlint directive at all.
+func DirectiveReason(text string) (verb, reason string, ok bool) {
+	const prefix = "//ibrlint:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	verb, reason, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(reason), true
+}
+
+// validIgnore reports whether text is an ignore directive carrying a reason.
+func validIgnore(text string) bool {
+	verb, reason, ok := DirectiveReason(text)
+	return ok && verb == "ignore" && reason != ""
+}
+
+// Reporter filters an analyzer's diagnostics through the //ibrlint:ignore
+// directives of the package being analyzed. A finding is suppressed when a
+// valid directive appears on the same line, on the line immediately above,
+// or in the doc comment of the enclosing function declaration.
+type Reporter struct {
+	pass  *analysis.Pass
+	lines map[string]map[int]bool // filename -> lines carrying a directive
+	funcs []funcRange             // functions whose doc comment carries one
+}
+
+type funcRange struct{ pos, end token.Pos }
+
+// NewReporter scans pass.Files for ignore directives.
+func NewReporter(pass *analysis.Pass) *Reporter {
+	r := &Reporter{pass: pass, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !validIgnore(c.Text) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				m := r.lines[p.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					r.lines[p.Filename] = m
+				}
+				m[p.Line] = true
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if validIgnore(c.Text) {
+					r.funcs = append(r.funcs, funcRange{fd.Pos(), fd.End()})
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Suppressed reports whether a finding at pos is covered by a directive.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	p := r.pass.Fset.Position(pos)
+	if m := r.lines[p.Filename]; m != nil && (m[p.Line] || m[p.Line-1]) {
+		return true
+	}
+	for _, fr := range r.funcs {
+		if fr.pos <= pos && pos < fr.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf reports a diagnostic at pos unless it is suppressed.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	if r.Suppressed(pos) {
+		return
+	}
+	r.pass.Reportf(pos, format, args...)
+}
+
+// TestFile reports whether the file containing pos is a _test.go file. The
+// protocol analyzers exempt test files: tests deliberately stage quiescent
+// states, stalled reservations, and direct frees.
+func TestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

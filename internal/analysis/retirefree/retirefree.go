@@ -1,0 +1,51 @@
+// Package retirefree enforces retire-before-free (paper §2.1): outside the
+// reclamation substrate itself, nothing may return memory to the allocator
+// directly. A detached block must go through Scheme.Retire so a reclamation
+// scan can prove no reservation still covers its lifetime interval; a direct
+// Pool.Free is exactly the use-after-free the schemes exist to prevent.
+//
+// Allowed callers are the packages ending in internal/core and internal/mem
+// (including their tests): the schemes' scans free what they have proven
+// unreachable, and the allocator's own tests exercise Free directly.
+//
+// The one legitimate exception elsewhere — freeing a node that was
+// allocated but never published, e.g. discarded after a failed insert —
+// must be annotated: //ibrlint:ignore never published.
+package retirefree
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"ibr/internal/analysis/ibrlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "retirefree",
+	Doc:      "check that only internal/core and internal/mem free pool memory directly; everything else must Scheme.Retire",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if ibrlint.PkgInProtocol(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := ibrlint.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := ibrlint.MemCall(pass.TypesInfo, call, "Free", "FreeBatch")
+		if fn == nil {
+			fn = ibrlint.CoreCall(pass.TypesInfo, call, "Free", "FreeBatch")
+		}
+		if fn == nil {
+			return
+		}
+		rep.Reportf(call.Pos(), "direct %s bypasses reclamation: detached blocks must go through Scheme.Retire (retire-before-free, paper §2.1)", fn.Name())
+	})
+	return nil, nil
+}

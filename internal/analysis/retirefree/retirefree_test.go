@@ -1,0 +1,20 @@
+package retirefree_test
+
+import (
+	"testing"
+
+	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/retirefree"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "retirebad/internal/ds", retirefree.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	checktest.Run(t, "retireok/internal/ds", retirefree.Analyzer)
+}
+
+func TestSubstrateExempt(t *testing.T) {
+	checktest.Run(t, "retireexempt/internal/core", retirefree.Analyzer)
+}

@@ -1,0 +1,28 @@
+// Package atomicbad mixes plain and atomic access to the same words.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	cold uint64
+}
+
+var hits uint64
+
+func inc(c *counter) { atomic.AddUint64(&c.n, 1) }
+
+func read(c *counter) uint64 {
+	return c.n // want "plain access to n"
+}
+
+func bump() { atomic.StoreUint64(&hits, 1) }
+
+func peek() uint64 {
+	return hits // want "plain access to hits"
+}
+
+// seed is exempt: composite-literal keys initialize before publication.
+func seed() *counter {
+	return &counter{n: 1, cold: 2}
+}

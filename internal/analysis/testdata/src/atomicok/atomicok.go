@@ -1,0 +1,26 @@
+// Package atomicok accesses each word through exactly one discipline.
+package atomicok
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64 // atomic only
+	plain uint64 // plain only
+}
+
+func inc(c *counter) uint64 { return atomic.AddUint64(&c.n, 1) }
+
+func load(c *counter) uint64 { return atomic.LoadUint64(&c.n) }
+
+func touch(c *counter) uint64 {
+	c.plain++
+	return c.plain
+}
+
+// scratch hands a local's address to atomic: single-threaded setup, not a
+// second access path, so the plain read below is fine.
+func scratch() uint64 {
+	var local uint64
+	atomic.StoreUint64(&local, 7)
+	return local
+}

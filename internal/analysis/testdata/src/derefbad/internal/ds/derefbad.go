@@ -1,0 +1,40 @@
+// Package ds exercises derefguard: shared-memory accesses outside the
+// StartOp/EndOp reservation bracket.
+package ds
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+type Q struct {
+	pool *mem.Pool
+	s    core.Scheme
+	head core.Ptr
+}
+
+// Peek is an exported entry point with no reservation at all: every
+// protected operation is flagged.
+func (q *Q) Peek(tid int) uint64 {
+	h := q.s.ReadRoot(tid, 0, &q.head) // want "ReadRoot outside the reservation bracket"
+	return q.pool.Get(h).Val           // want "Pool.Get outside the reservation bracket"
+}
+
+// PopStale closes the bracket and then touches the pool.
+func (q *Q) PopStale(tid int) uint64 {
+	q.s.StartOp(tid)
+	h := q.s.ReadRoot(tid, 0, &q.head)
+	q.s.EndOp(tid)
+	return q.pool.Get(h).Val // want "Pool.Get may follow EndOp"
+}
+
+// MaybeBracket reserves on only one path, so the accesses after the merge
+// are not dominated by StartOp.
+func (q *Q) MaybeBracket(tid int, guard bool) uint64 {
+	if guard {
+		q.s.StartOp(tid)
+		defer q.s.EndOp(tid)
+	}
+	h := q.head.Raw()        // want "Ptr.Raw outside the reservation bracket"
+	return q.pool.Get(h).Val // want "Pool.Get outside the reservation bracket"
+}

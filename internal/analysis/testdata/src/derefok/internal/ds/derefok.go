@@ -1,0 +1,45 @@
+// Package ds holds the clean derefguard cases: properly bracketed
+// operations, caller-bracketed helpers, and test-file exemptions.
+package ds
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+type Q struct {
+	pool *mem.Pool
+	s    core.Scheme
+	head core.Ptr
+}
+
+// Get brackets the traversal; nothing to report.
+func (q *Q) Get(tid int) uint64 {
+	q.s.StartOp(tid)
+	defer q.s.EndOp(tid)
+	h := q.s.ReadRoot(tid, 0, &q.head)
+	for !h.IsNil() {
+		n := q.pool.Get(h)
+		if n.Key != 0 {
+			return n.Val
+		}
+		h = mem.Nil
+	}
+	return 0
+}
+
+// find is an unexported helper with no StartOp of its own: it runs under
+// its caller's bracket and is skipped.
+func (q *Q) find(tid int) *mem.Node {
+	return q.pool.Get(q.head.Raw())
+}
+
+// Drain reopens the bracket after a plain EndOp; the accesses after the
+// second StartOp are dominated again.
+func (q *Q) Drain(tid int) uint64 {
+	q.s.StartOp(tid)
+	q.s.EndOp(tid)
+	q.s.StartOp(tid)
+	defer q.s.EndOp(tid)
+	return q.pool.Get(q.s.ReadRoot(tid, 0, &q.head)).Val
+}

@@ -1,0 +1,7 @@
+package ds
+
+// Test files are exempt: tests deliberately stage quiescent inspections of
+// pool memory with no reservation.
+func QuiescentPeek(q *Q) uint64 {
+	return q.pool.Get(q.head.Raw()).Val
+}

@@ -1,0 +1,20 @@
+// Package ds exercises endop: StartOp left open on some return path.
+package ds
+
+import "stub/internal/core"
+
+// Leak returns early without closing the bracket.
+func Leak(s core.Scheme, tid int, abort bool) {
+	s.StartOp(tid) // want "StartOp is not matched by EndOp on every return path"
+	if abort {
+		return
+	}
+	s.EndOp(tid)
+}
+
+// Spawn leaks inside a closure; function literals are checked on their own.
+func Spawn(s core.Scheme, tid int) func() {
+	return func() {
+		s.StartOp(tid) // want "StartOp is not matched by EndOp on every return path"
+	}
+}

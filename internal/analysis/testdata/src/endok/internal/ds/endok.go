@@ -1,0 +1,38 @@
+// Package ds holds the clean endop cases.
+package ds
+
+import "stub/internal/core"
+
+// Deferred is the canonical shape: the deferred EndOp covers every exit.
+func Deferred(s core.Scheme, tid int) {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+}
+
+// AllPaths closes the bracket explicitly on every return path.
+func AllPaths(s core.Scheme, tid int, abort bool) {
+	s.StartOp(tid)
+	if abort {
+		s.EndOp(tid)
+		return
+	}
+	s.EndOp(tid)
+}
+
+// PanicPath leaves the bracket open only on a panicking path, which is not
+// a return.
+func PanicPath(s core.Scheme, tid int, bad bool) {
+	s.StartOp(tid)
+	if bad {
+		panic("corrupt structure")
+	}
+	s.EndOp(tid)
+}
+
+// ClosureCovered defers a closure that withdraws the reservation.
+func ClosureCovered(s core.Scheme, tid int) {
+	s.StartOp(tid)
+	defer func() {
+		s.EndOp(tid)
+	}()
+}

@@ -1,0 +1,19 @@
+// Package ds exercises retirefree: direct frees outside the reclamation
+// substrate.
+package ds
+
+import "stub/internal/mem"
+
+type T struct {
+	pool *mem.Pool
+}
+
+// Drop frees a detached node directly instead of retiring it.
+func (t *T) Drop(tid int, h mem.Handle) {
+	t.pool.Free(tid, h) // want "direct Free bypasses reclamation"
+}
+
+// DropBatch is the batched variant.
+func (t *T) DropBatch(tid int, hs []mem.Handle) {
+	t.pool.FreeBatch(tid, hs) // want "direct FreeBatch bypasses reclamation"
+}

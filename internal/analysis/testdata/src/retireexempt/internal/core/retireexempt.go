@@ -1,0 +1,14 @@
+// Package core stands in for the reclamation substrate: packages whose path
+// ends in internal/core or internal/mem may free directly — their scans free
+// what they have proven unreachable.
+package core
+
+import "stub/internal/mem"
+
+// Reclaim frees blocks a scan proved unreachable.
+func Reclaim(p *mem.Pool, tid int, hs []mem.Handle) {
+	for _, h := range hs {
+		p.Free(tid, h)
+	}
+	p.FreeBatch(tid, hs)
+}

@@ -1,0 +1,17 @@
+// Package ds holds the clean retirefree case: detachment goes through
+// Scheme.Retire so a reclamation scan can prove the block unreachable.
+package ds
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+type T struct {
+	s core.Scheme
+}
+
+// Unlink retires through the scheme, as the protocol requires.
+func (t *T) Unlink(tid int, h mem.Handle) {
+	t.s.Retire(tid, h)
+}

@@ -1,0 +1,40 @@
+// Package core exercises epochstamp rule (b): inside the reclamation core,
+// a successful allocator Alloc must reach SetBirth on every path before the
+// handle escapes.
+package core
+
+import "stub/internal/mem"
+
+type scheme struct {
+	pool  *mem.Pool
+	epoch uint64
+}
+
+// alloc forgets to stamp before returning the handle.
+func (s *scheme) alloc(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	return h // want "allocated handle escapes before SetBirth"
+}
+
+// allocMaybe stamps on only one path; the merge is still may-unstamped.
+func (s *scheme) allocMaybe(tid int, fast bool) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	if !fast {
+		s.pool.SetBirth(h, s.epoch)
+	}
+	return h // want "allocated handle escapes before SetBirth"
+}
+
+// stash publishes the unstamped handle through a shared cell.
+func (s *scheme) stash(tid int, slot *mem.Handle) {
+	h, ok := s.pool.Alloc(tid)
+	if ok {
+		*slot = h // want "allocated handle escapes before SetBirth"
+	}
+}

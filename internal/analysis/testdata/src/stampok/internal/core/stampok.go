@@ -1,0 +1,40 @@
+// Package core holds the clean epochstamp cases for the in-core rule.
+package core
+
+import "stub/internal/mem"
+
+type scheme struct {
+	pool  *mem.Pool
+	epoch uint64
+}
+
+// alloc stamps the birth before the handle escapes (paper Fig. 4).
+func (s *scheme) alloc(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	s.pool.SetBirth(h, s.epoch)
+	return h
+}
+
+// probe may inspect the handle (Handle methods are not escapes) before
+// stamping it.
+func (s *scheme) probe(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok || h.IsNil() {
+		return mem.Nil
+	}
+	s.pool.SetBirth(h, s.epoch)
+	return h
+}
+
+// drop discards the unstamped handle by reassignment: nothing escapes.
+func (s *scheme) drop(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	h = mem.Nil
+	return h
+}

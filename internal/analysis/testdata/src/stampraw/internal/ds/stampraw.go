@@ -1,0 +1,21 @@
+// Package ds exercises epochstamp rule (a): outside the core, the raw
+// two-result allocator is always a violation — nothing out here can stamp
+// the birth epoch.
+package ds
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+// Grab bypasses Scheme.Alloc, so its block is never birth-stamped.
+func Grab(p *mem.Pool, tid int) mem.Handle {
+	h, _ := p.Alloc(tid) // want "raw allocator Alloc bypasses birth-epoch stamping"
+	return h
+}
+
+// GrabStamped allocates through the scheme, which advances the epoch clock
+// and stamps the birth.
+func GrabStamped(s core.Scheme, tid int) mem.Handle {
+	return s.Alloc(tid)
+}

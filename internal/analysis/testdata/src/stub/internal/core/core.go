@@ -1,0 +1,22 @@
+// Package core stubs ibr/internal/core for the analyzer golden tests.
+package core
+
+import "stub/internal/mem"
+
+// Ptr is a shared pointer cell.
+type Ptr struct{ v uint64 }
+
+func (p *Ptr) Raw() mem.Handle { return mem.Handle(p.v) }
+
+// Scheme is the reservation API surface the analyzers key on.
+type Scheme interface {
+	StartOp(tid int)
+	EndOp(tid int)
+	RestartOp(tid int)
+	Alloc(tid int) mem.Handle
+	Read(tid, slot int, p *Ptr) mem.Handle
+	ReadRoot(tid, slot int, p *Ptr) mem.Handle
+	Write(tid int, p *Ptr, h mem.Handle)
+	CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool
+	Retire(tid int, h mem.Handle)
+}

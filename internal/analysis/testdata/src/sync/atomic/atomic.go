@@ -1,0 +1,20 @@
+// Package atomic stubs the functional sync/atomic API for the atomicmix
+// golden tests; the analyzer keys on the exact import path "sync/atomic".
+package atomic
+
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+func StoreUint64(addr *uint64, val uint64) { *addr = val }
+
+func AddUint64(addr *uint64, delta uint64) uint64 {
+	*addr += delta
+	return *addr
+}
+
+func CompareAndSwapUint64(addr *uint64, old, new uint64) bool {
+	if *addr != old {
+		return false
+	}
+	*addr = new
+	return true
+}

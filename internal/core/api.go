@@ -309,6 +309,8 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 }
 
 // allocPlain allocates without epoch stamping (EBR, HP, NoMM).
+//
+//ibrlint:ignore non-interval schemes: EBR, HP and NoMM never read birth epochs, so stamping is dead work
 func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
 	h, ok := b.mem.Alloc(tid)
 	if !ok {

@@ -124,6 +124,7 @@ func (op *bonsaiOp) open(h mem.Handle) (key, val uint64, l, r mem.Handle) {
 		op.created[idx] = op.created[last]
 		op.t.pool.Get(op.created[idx]).temp = idx + 1
 		op.created = op.created[:last]
+		//ibrlint:ignore never published; h is a private build-time node of this op's version
 		op.t.pool.Free(op.tid, h)
 	} else {
 		op.replaced = append(op.replaced, h)
@@ -141,6 +142,7 @@ func (op *bonsaiOp) seal() {
 
 func (op *bonsaiOp) freeCreated() {
 	for _, h := range op.created {
+		//ibrlint:ignore never published; the op's publish CAS failed, its created nodes stayed private
 		op.t.pool.Free(op.tid, h)
 	}
 	op.created = op.created[:0]
@@ -351,6 +353,8 @@ func (t *Bonsai) Fill(pairs []KV) {
 }
 
 // Keys returns the ascending key set (quiescence only).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (t *Bonsai) Keys() []uint64 {
 	var out []uint64
 	var walk func(h mem.Handle)
@@ -370,6 +374,8 @@ func (t *Bonsai) Keys() []uint64 {
 // Validate checks the structural invariants at quiescence: BST order,
 // accurate sizes, and the ⟨Δ,Γ⟩ weight-balance bound. Tests call it after
 // concurrent stress.
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (t *Bonsai) Validate() error {
 	var walk func(h mem.Handle, lo, hi uint64) (uint64, error)
 	walk = func(h mem.Handle, lo, hi uint64) (uint64, error) {

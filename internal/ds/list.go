@@ -113,7 +113,8 @@ func (lc *listCore) insert(tid int, head *core.Ptr, key, val uint64) bool {
 		r := lc.find(tid, head, key, &fails)
 		if r.found {
 			if !node.IsNil() {
-				lc.pool.Free(tid, node) // never published
+				//ibrlint:ignore never published; no CAS linked the node, so no other thread can hold it
+				lc.pool.Free(tid, node)
 			}
 			return false
 		}

@@ -35,6 +35,11 @@ func NewQueue(cfg Config) (*Queue, error) {
 		return nil, err
 	}
 	q := &Queue{pool: pool, s: s}
+	// Bracket the dummy-node setup like any operation: construction is
+	// single-threaded, but a uniform reservation discipline is what ibrlint
+	// can check.
+	s.StartOp(0)
+	defer s.EndOp(0)
 	dummy := s.Alloc(0)
 	pool.Get(dummy).val = 0
 	s.Write(0, &pool.Get(dummy).next, mem.Nil)
@@ -107,6 +112,8 @@ func (q *Queue) Dequeue(tid int) (uint64, bool) {
 }
 
 // Len counts queued values (quiescence only).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (q *Queue) Len() int {
 	n := 0
 	for h := q.pool.Get(q.head.Raw()).next.Raw(); !h.IsNil(); h = q.pool.Get(h).next.Raw() {

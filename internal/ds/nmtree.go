@@ -71,7 +71,10 @@ func NewNMTree(cfg Config) (*NMTree, error) {
 	t := &NMTree{pool: pool, s: s}
 
 	// Initial shape (single-threaded): R(inf2){S, leaf(inf2)},
-	// S(inf1){leaf(inf1), leaf(inf2)}.
+	// S(inf1){leaf(inf1), leaf(inf2)}. Bracketed like any operation so the
+	// setup follows the same reservation discipline ibrlint checks.
+	s.StartOp(0)
+	defer s.EndOp(0)
 	leaf := func(key uint64) mem.Handle {
 		h := s.Alloc(0)
 		n := pool.Get(h)
@@ -272,6 +275,7 @@ func (t *NMTree) Insert(tid int, key, val uint64) bool {
 		leafNode := t.pool.Get(sr.leaf)
 		if leafNode.key == key {
 			if !newLeaf.IsNil() {
+				//ibrlint:ignore never published; no CAS linked the leaf, so no other thread can hold it
 				t.pool.Free(tid, newLeaf)
 			}
 			return false
@@ -290,6 +294,7 @@ func (t *NMTree) Insert(tid int, key, val uint64) bool {
 		// {new leaf, old leaf} in key order.
 		newInt := s.Alloc(tid)
 		if newInt.IsNil() {
+			//ibrlint:ignore never published; the private leaf is discarded on allocator exhaustion
 			t.pool.Free(tid, newLeaf)
 			return false
 		}
@@ -311,6 +316,7 @@ func (t *NMTree) Insert(tid int, key, val uint64) bool {
 		}
 		// Failed: discard the internal (never published), help any delete
 		// stuck on this edge, retry.
+		//ibrlint:ignore never published; the publish CAS failed, the internal node stayed private
 		t.pool.Free(tid, newInt)
 		fails++
 		if cf := childAddr.Raw(); cf.SameAddr(sr.leaf) && cf.Marks() != 0 {
@@ -379,6 +385,8 @@ func (t *NMTree) Fill(pairs []KV) {
 }
 
 // Keys returns the ascending application key set (quiescence only).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (t *NMTree) Keys() []uint64 {
 	var out []uint64
 	var walk func(h mem.Handle)

@@ -175,6 +175,7 @@ func (sl *SkipList) Insert(tid int, key, val uint64) bool {
 	for {
 		if sl.find(tid, key, &preds, &succs, &fails) {
 			if !node.IsNil() {
+				//ibrlint:ignore never published; no CAS linked the node, so no other thread can hold it
 				sl.pool.Free(tid, node)
 			}
 			return false
@@ -362,6 +363,8 @@ func (sl *SkipList) Sweep(tid int) {
 }
 
 // Keys returns the ascending key set (quiescence only).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (sl *SkipList) Keys() []uint64 {
 	var out []uint64
 	h := sl.head.next[0].Raw().ClearMarks()
@@ -379,6 +382,8 @@ func (sl *SkipList) Keys() []uint64 {
 // Validate checks level coherence at quiescence: every level's chain is
 // strictly sorted, and every unmarked upper-level occupant is present
 // below (ghost routers — marked upper levels not yet snipped — are legal).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (sl *SkipList) Validate() error {
 	var below map[uint64]bool
 	for level := 0; level < MaxLevel; level++ {

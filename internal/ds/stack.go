@@ -88,6 +88,8 @@ func (st *Stack) Pop(tid int) (uint64, bool) {
 }
 
 // Len counts nodes (quiescence only).
+//
+//ibrlint:ignore quiescence-only: documented to run with no concurrent operations
 func (st *Stack) Len() int {
 	n := 0
 	for h := st.top.Raw(); !h.IsNil(); h = st.pool.Get(h).next.Raw() {

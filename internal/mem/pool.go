@@ -242,7 +242,7 @@ func (p *Pool[T]) release(h Handle) uint64 {
 	}
 	hdr.stamp.Add(1)
 	if p.poison != nil {
-		p.poison(p.Get(h))
+		p.poison(p.get(h))
 	}
 	return gid
 }
@@ -292,8 +292,18 @@ func (p *Pool[T]) FreeBatch(tid int, hs []Handle) {
 // Get returns the body of the slot addressed by h; marks and packed epoch
 // are ignored. Get panics on a nil handle. Get does not check the slot
 // state: like a C pointer dereference, reading a freed slot "works" and
-// returns whatever is there now — that's the point.
+// returns whatever is there now — that's the point. Builds with the
+// ibrdebug tag trade that fidelity for assertions: Get panics on a freed
+// slot or on a stale packed birth epoch (see debugCheck).
 func (p *Pool[T]) Get(h Handle) *T {
+	p.debugCheck(h)
+	return p.get(h)
+}
+
+// get is Get without the ibrdebug assertion. release poisons through it (the
+// slot is already Free by then), and the allocator's own tests use it to
+// inspect freed bodies.
+func (p *Pool[T]) get(h Handle) *T {
 	gid, ok := h.Slot()
 	if !ok {
 		panic("mem: Get of nil handle")

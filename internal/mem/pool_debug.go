@@ -1,0 +1,28 @@
+//go:build ibrdebug
+
+package mem
+
+import "fmt"
+
+// DebugChecks reports whether the ibrdebug assertions are compiled in.
+const DebugChecks = true
+
+// debugCheck panics when h addresses a slot no reservation could possibly
+// cover: a slot that is already on a free list, or a TagIBR-WCAS handle
+// whose packed birth epoch disagrees with the slot header — the slot was
+// reclaimed and reused since the pointer word was read, so the access is a
+// use-after-free. The check is best-effort (a racing Free right after it
+// still slips through), but it converts the silent corruption the paper's
+// schemes exist to prevent into a deterministic panic under `make testdebug`.
+func (p *Pool[T]) debugCheck(h Handle) {
+	if _, ok := h.Slot(); !ok {
+		return // let Get raise its canonical nil-handle panic
+	}
+	hdr := p.hdr(h)
+	if State(hdr.state.Load()) == StateFree {
+		panic(fmt.Sprintf("ibrdebug: Get of freed %v (reuse stamp %d)", h, hdr.stamp.Load()))
+	}
+	if e := h.Epoch(); e != 0 && e != hdr.birth.Load() {
+		panic(fmt.Sprintf("ibrdebug: Get through stale %v: packed birth %d, slot birth %d (slot reused since the read)", h, e, hdr.birth.Load()))
+	}
+}

@@ -1,0 +1,46 @@
+//go:build ibrdebug
+
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v; want one containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestDebugGetFreedPanics(t *testing.T) {
+	if !DebugChecks {
+		t.Fatal("ibrdebug build without DebugChecks")
+	}
+	p := New[testNode](Options[testNode]{Threads: 1})
+	h, ok := p.Alloc(0)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	p.Get(h).key = 7 // live: fine
+	p.Free(0, h)
+	mustPanic(t, "Get of freed", func() { p.Get(h) })
+}
+
+func TestDebugStaleEpochPanics(t *testing.T) {
+	p := New[testNode](Options[testNode]{Threads: 1})
+	h, _ := p.Alloc(0)
+	p.SetBirth(h, 5)
+	p.Get(h.WithEpoch(5)) // matching packed birth: fine
+	p.Get(h)              // no packed epoch (non-WCAS schemes): fine
+	mustPanic(t, "stale", func() { p.Get(h.WithEpoch(4)) })
+}

@@ -1,0 +1,10 @@
+//go:build !ibrdebug
+
+package mem
+
+// DebugChecks reports whether the ibrdebug assertions are compiled in.
+const DebugChecks = false
+
+// debugCheck is a no-op without the ibrdebug build tag; it inlines away so
+// the production Get stays a bare slab index.
+func (p *Pool[T]) debugCheck(Handle) {}
