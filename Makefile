@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest clean
+.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke clean
 
 all: build vet lint test
 
@@ -41,11 +41,14 @@ bench:
 
 # Scan-efficiency snapshot: short write-heavy and read-heavy cells, one JSON
 # line each in BENCH_scan.json (ops/s + scan stats; see cmd/ibrbench -json).
+# The fourth cell repeats the first with the observability hooks live, so the
+# recording overhead is priced in the same file it can be diffed from.
 benchscan:
 	rm -f BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m write -i 1 -json BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=ebr -t 4 -m write -i 1 -json BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m read -i 1 -json BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m write -i 1 -obs -json BENCH_scan.json
 	@cat BENCH_scan.json
 
 # Regenerate every figure's data (CSV + ASCII tables + stall curves)…
@@ -70,6 +73,24 @@ loadtest:
 	( sleep 1; curl -s http://127.0.0.1:4101/debug/vars | tr ',' '\n' | grep -E '"(ops|unreclaimed|max_epoch_lag)"' || true ) & \
 	./bin/ibrload -addr 127.0.0.1:4100 -c 8 -p 4 -i 2; rc=$$?; \
 	kill -TERM $$pid; wait $$pid; exit $$rc
+
+# Telemetry smoke: boot ibrd with the observability layer on, load it for a
+# few seconds, and assert the paper-critical series are present and non-empty
+# on /metrics before draining.
+obssmoke:
+	$(GO) build -o bin/ibrd ./cmd/ibrd
+	$(GO) build -o bin/ibrload ./cmd/ibrload
+	@./bin/ibrd -addr 127.0.0.1:4200 -http 127.0.0.1:4201 -r hashmap -d tagibr -shards 4 -workers 2 & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4200 -c 8 -p 4 -i 3 & load=$$!; \
+	sleep 2; curl -sf http://127.0.0.1:4201/metrics > /tmp/obssmoke_metrics.txt; \
+	curl -sf http://127.0.0.1:4201/debug/flightrecorder | head -1 | grep -q '"kind":"header"'; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	grep -q '^ibr_unreclaimed{shard="0"}' /tmp/obssmoke_metrics.txt; \
+	grep -q '^ibr_epoch_lag{shard="0"}' /tmp/obssmoke_metrics.txt; \
+	grep -q '^ibr_retire_age_bucket{' /tmp/obssmoke_metrics.txt; \
+	awk -F' ' '/^ibr_retire_age_count/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/obssmoke_metrics.txt; \
+	echo "obssmoke: key series present and non-empty"; exit $$rc
 
 examples:
 	$(GO) run ./examples/quickstart

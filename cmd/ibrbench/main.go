@@ -18,6 +18,7 @@ import (
 	"ibr/internal/core"
 	"ibr/internal/ds"
 	"ibr/internal/harness"
+	"ibr/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "append a machine-readable JSON line (ops/s + scan stats) to this file")
 		verbose   = flag.Bool("v", false, "print the full result")
 		lat       = flag.Bool("lat", false, "measure per-operation latency quantiles")
+		obsOn     = flag.Bool("obs", false, "run with the observability hooks live (flight recorder + histograms)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,9 @@ func main() {
 		StallFor:       time.Duration(*stallMS) * time.Millisecond,
 		Seed:           *seed,
 		MeasureLatency: *lat,
+	}
+	if *obsOn {
+		cfg.Obs = &obs.Options{}
 	}
 	res, err := harness.Run(cfg)
 	if err != nil {
@@ -125,6 +130,7 @@ type benchRecord struct {
 	ScanExaminedMean float64 `json:"scan_examined_mean"`
 	ScanFreed        uint64  `json:"scan_freed"`
 	ExaminedPerFreed float64 `json:"examined_per_freed"`
+	Obs              bool    `json:"obs"`
 }
 
 func appendJSON(path string, res harness.Result) error {
@@ -140,6 +146,7 @@ func appendJSON(path string, res harness.Result) error {
 		Scans:            res.Scans,
 		ScanExaminedMean: res.ScanMeanLen,
 		ScanFreed:        res.ScanFreed,
+		Obs:              res.Obs != nil,
 	}
 	if res.ScanFreed > 0 {
 		rec.ExaminedPerFreed = float64(res.ScanExamined) / float64(res.ScanFreed)

@@ -8,17 +8,22 @@
 //	ibrd -addr :4100 -http :4101 -r hashmap -d tagibr -shards 8 -workers 2
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests complete, responses
-// flush, retire lists are scanned at quiescence, then the process exits.
-// Metrics (per-shard throughput, queue depth, retired-but-unreclaimed,
-// epoch lag, reclamation-scan work) are exported as JSON under "ibrd" on
-// http://<http>/debug/vars; the connection front end's counters (accepted,
-// dropped connections, rejected frames) under "ibrd_server".
+// flush, retire lists are scanned at quiescence, a final metrics snapshot is
+// written to stderr, then the process exits. SIGQUIT dumps the flight
+// recorder as JSONL to stderr without pausing or stopping the daemon.
+//
+// The HTTP side serves /debug/vars (JSON gauges under "ibrd"/"ibrd_server"),
+// /metrics (Prometheus text format: per-shard throughput, queue depth,
+// retired-but-unreclaimed, epoch lag, retire→free age histograms, op
+// latency, stall-watchdog alerts), /debug/flightrecorder (SMR lifecycle
+// event dump), and net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -27,13 +32,14 @@ import (
 
 	"ibr/internal/core"
 	"ibr/internal/ds"
+	"ibr/internal/obs"
 	"ibr/internal/server"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":4100", "TCP listen address for the KV protocol")
-		httpAddr  = flag.String("http", ":4101", "HTTP listen address for /debug/vars (empty disables)")
+		httpAddr  = flag.String("http", ":4101", "HTTP listen address for /debug/vars, /metrics, /debug/flightrecorder, /debug/pprof (empty disables)")
 		structure = flag.String("r", "hashmap", "rideable: "+strings.Join(ds.MapStructures(), ", "))
 		scheme    = flag.String("d", "tagibr", "reclamation scheme: "+strings.Join(core.Schemes(), ", "))
 		shards    = flag.Int("shards", 8, "independent structure instances the key space is hashed across")
@@ -45,6 +51,13 @@ func main() {
 		emptyf    = flag.Int("emptyf", 30, "retire-list scan frequency (retirements)")
 		buckets   = flag.Int("buckets", 0, "hash map buckets per shard (0 = default)")
 		poolSlots = flag.Uint64("poolslots", 0, "node pool capacity per shard (0 = default)")
+
+		obsOn       = flag.Bool("obs", true, "enable the observability layer (flight recorder, histograms, stall watchdog)")
+		obsRing     = flag.Int("obs-ring", 4096, "flight-recorder events kept per worker ring")
+		obsSample   = flag.Int("obs-sample", 64, "record every Nth alloc/retire event (1 = all)")
+		stallThresh = flag.Duration("stall-threshold", time.Second, "reservation age past which the watchdog raises a stall alert")
+		stalled     = flag.Int("stalled", 0, "injected stalled reservation holders per shard (the paper's preempted thread; for watching reclamation lag)")
+		stallFor    = flag.Duration("stallfor", 2*time.Second, "how long each injected stall pins its reservation")
 	)
 	flag.Parse()
 
@@ -63,12 +76,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng, err := server.NewEngine(server.EngineConfig{
+	cfg := server.EngineConfig{
 		Structure: *structure, Scheme: *scheme,
 		Shards: *shards, WorkersPerShard: *workers, QueueDepth: *queue,
 		EpochFreq: *epochf, EmptyFreq: *emptyf,
 		Buckets: *buckets, PoolSlots: *poolSlots,
-	})
+		Stalled: *stalled, StallFor: *stallFor,
+	}
+	if *obsOn {
+		cfg.Obs = &obs.Options{
+			RingSize:       *obsRing,
+			SampleEvery:    *obsSample,
+			StallThreshold: *stallThresh,
+		}
+	}
+	eng, err := server.NewEngine(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibrd:", err)
 		os.Exit(1)
@@ -78,8 +100,11 @@ func main() {
 	server.PublishServerVars("ibrd_server", srv)
 
 	if *httpAddr != "" {
-		// Importing expvar (via internal/server) registers /debug/vars on
-		// the default mux; serving it is all that is left to do.
+		// Importing expvar (via internal/server) and net/http/pprof registers
+		// /debug/vars and /debug/pprof on the default mux; /metrics and the
+		// flight-recorder dump ride alongside.
+		http.Handle("/metrics", server.MetricsHandler(eng, srv))
+		http.Handle("/debug/flightrecorder", server.FlightRecorderHandler(eng))
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "ibrd: debug http:", err)
@@ -89,6 +114,22 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// SIGQUIT: dump the flight recorder to stderr and keep serving. The
+	// snapshot reads the rings without synchronizing with the workers, so a
+	// dump under full load is safe (torn slots are skipped, not blocked on).
+	if rec := eng.Obs().Recorder(); rec != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				fmt.Fprintln(os.Stderr, "ibrd: SIGQUIT — flight recorder dump")
+				if err := rec.WriteJSONL(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "ibrd: flight dump:", err)
+				}
+			}
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() {
@@ -116,4 +157,10 @@ func main() {
 	}
 	fmt.Printf("ibrd: drained: %d ops served over %d connections, %d blocks unreclaimed after final scan\n",
 		ops, srv.Accepted(), unreclaimed)
+	// Final telemetry snapshot for post-mortems: the same exposition /metrics
+	// served, frozen at quiescence.
+	fmt.Fprintln(os.Stderr, "ibrd: final metrics snapshot:")
+	if err := eng.WriteMetrics(os.Stderr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "ibrd: metrics snapshot:", err)
+	}
 }

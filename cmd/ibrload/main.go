@@ -6,7 +6,8 @@
 //
 // opens 8 connections with 4 closed-loop issuers each (pipeline depth 4
 // per connection, 32 outstanding requests overall) for 2 seconds and
-// prints Mops/s plus p50/p99/p999 from the merged per-issuer histograms.
+// prints Mops/s plus separate read (GET) and write (PUT/DEL) p50/p95/p99
+// lines from the merged per-issuer histograms.
 package main
 
 import (
@@ -63,8 +64,11 @@ func main() {
 
 	// One issuer = one closed loop; pipelining comes from running p of
 	// them per connection, so every connection keeps p requests in flight.
+	// Reads (GET) and writes (PUT/DEL) go to separate histograms: a write's
+	// retire/scan work rides its latency tail, so mixing the classes hides
+	// exactly the effect the reclamation schemes differ in.
 	type issuerOut struct {
-		hist                 harness.LatencyHist
+		readHist, writeHist  harness.LatencyHist
 		ok, notFound, exists uint64
 		busy, protoErr       uint64
 		err                  error
@@ -103,7 +107,11 @@ func main() {
 						out.err = err
 						return
 					}
-					out.hist.Record(time.Since(t0))
+					if op == server.OpGet {
+						out.readHist.Record(time.Since(t0))
+					} else {
+						out.writeHist.Record(time.Since(t0))
+					}
 					switch resp.Status {
 					case server.StatusOK:
 						out.ok++
@@ -128,7 +136,8 @@ func main() {
 	var total issuerOut
 	for i := range outs {
 		o := &outs[i]
-		total.hist.Merge(&o.hist)
+		total.readHist.Merge(&o.readHist)
+		total.writeHist.Merge(&o.writeHist)
 		total.ok += o.ok
 		total.notFound += o.notFound
 		total.exists += o.exists
@@ -138,11 +147,21 @@ func main() {
 			total.err = o.err
 		}
 	}
-	ops := total.hist.Count()
+	ops := total.readHist.Count() + total.writeHist.Count()
 	fmt.Printf("ibrload: %d conns × %d pipeline, %s mode, %v\n", *conns, *pipeline, *mode, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %d ops, %.4f Mops/s (ok %d, not-found %d, exists %d, busy %d)\n",
 		ops, float64(ops)/elapsed.Seconds()/1e6, total.ok, total.notFound, total.exists, total.busy)
-	fmt.Printf("  latency: %s\n", &total.hist)
+	for _, c := range []struct {
+		name string
+		h    *harness.LatencyHist
+	}{{"read  (get)", &total.readHist}, {"write (put/del)", &total.writeHist}} {
+		if c.h.Count() == 0 {
+			fmt.Printf("  latency %-15s: no ops\n", c.name)
+			continue
+		}
+		fmt.Printf("  latency %-15s: n=%d p50~%v p95~%v p99~%v\n",
+			c.name, c.h.Count(), c.h.Quantile(0.50), c.h.Quantile(0.95), c.h.Quantile(0.99))
+	}
 	if total.err != nil || total.protoErr > 0 {
 		fmt.Fprintf(os.Stderr, "ibrload: %d protocol errors, first transport error: %v\n", total.protoErr, total.err)
 		os.Exit(1)

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	in := `# HELP ibr_ops_total Operations completed per shard.
+# TYPE ibr_ops_total counter
+ibr_ops_total{shard="0"} 120
+ibr_ops_total{shard="1"} 80
+ibr_queue_depth 3
+ibr_engine_info{structure="hashmap",scheme="tagibr",workers_per_shard="2"} 1
+weird_label{v="a\"b\\c\nd"} 1.5
+ibr_op_latency_ns_bucket{op="get",le="1024"} 10
+ibr_op_latency_ns_bucket{op="get",le="2048"} 30
+ibr_op_latency_ns_bucket{op="get",le="+Inf"} 40
+`
+	m, err := parseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.value("ibr_ops_total", map[string]string{"shard": "1"}); got != 80 {
+		t.Errorf("shard 1 ops = %v", got)
+	}
+	if got := m.value("ibr_queue_depth", nil); got != 3 {
+		t.Errorf("unlabeled value = %v", got)
+	}
+	if ids := m.shardIDs("ibr_ops_total"); len(ids) != 2 || ids[0] != "0" || ids[1] != "1" {
+		t.Errorf("shardIDs = %v", ids)
+	}
+	if got := m.first("weird_label").labels["v"]; got != "a\"b\\c\nd" {
+		t.Errorf("unescaped label = %q", got)
+	}
+
+	h := m.histogram("ibr_op_latency_ns", map[string]string{"op": "get"})
+	if h.count != 40 {
+		t.Fatalf("hist count = %v", h.count)
+	}
+	// Median rank 20 falls in the (1024,2048] bucket holding ranks 11..30:
+	// 1024 + (20-10)/20 · 1024 = 1536.
+	if got := h.quantile(0.5); got != 1536 {
+		t.Errorf("p50 = %v, want 1536", got)
+	}
+	// p99 rank 39.6 lands in the +Inf bucket → clamp to the last bound.
+	if got := h.quantile(0.99); got != 2048 {
+		t.Errorf("p99 = %v, want 2048 (clamped)", got)
+	}
+}
+
+func TestParseMetricsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"no_value\n",
+		"bad{unterminated=\"x\n",
+		"bad{le=\"1\"} not-a-number\n",
+	} {
+		if _, err := parseMetrics(strings.NewReader(in)); err == nil {
+			t.Errorf("parse(%q) succeeded; want error", in)
+		}
+	}
+}

@@ -206,6 +206,13 @@ func deferredEndOp(pass *analysis.Pass, d *ast.DeferStmt) bool {
 // function exit (explicit return or falling off the end) rather than a
 // call to a no-return function such as panic.
 func isReturnOrFalloff(b *cfg.Block) bool {
+	// A successor-less SelectAfterCase block is the CFG's encoding of "no
+	// case ready" after the last clause of a default-less select — a path
+	// that blocks forever rather than returning, so an open reservation
+	// reaching it is not a leak (StartOp → select → EndOp is fine).
+	if b.Kind == cfg.KindSelectAfterCase {
+		return false
+	}
 	if len(b.Nodes) == 0 {
 		return true
 	}

@@ -18,3 +18,16 @@ func Spawn(s core.Scheme, tid int) func() {
 		s.StartOp(tid) // want "StartOp is not matched by EndOp on every return path"
 	}
 }
+
+// SelectLeak returns from one select clause without withdrawing: the
+// successor-less SelectAfterCase artifact is exempt, real clause-body
+// returns are not.
+func SelectLeak(s core.Scheme, tid int, stop, tick chan struct{}) {
+	s.StartOp(tid) // want "StartOp is not matched by EndOp on every return path"
+	select {
+	case <-stop:
+		return
+	case <-tick:
+	}
+	s.EndOp(tid)
+}

@@ -36,3 +36,36 @@ func ClosureCovered(s core.Scheme, tid int) {
 		s.EndOp(tid)
 	}()
 }
+
+// SelectBracket holds the reservation across a default-less select. The
+// CFG ends the last clause in a successor-less SelectAfterCase block (the
+// impossible "no case ready" path); that is a block-forever path, not a
+// return, so the bracket is closed on every real exit.
+func SelectBracket(s core.Scheme, tid int, stop, tick chan struct{}) {
+	for {
+		s.StartOp(tid)
+		done := false
+		select {
+		case <-stop:
+			done = true
+		case <-tick:
+		}
+		s.EndOp(tid)
+		if done {
+			return
+		}
+	}
+}
+
+// SelectReturnInCase withdraws inside each clause body, including one that
+// returns directly.
+func SelectReturnInCase(s core.Scheme, tid int, stop, tick chan struct{}) {
+	s.StartOp(tid)
+	select {
+	case <-stop:
+		s.EndOp(tid)
+		return
+	case <-tick:
+	}
+	s.EndOp(tid)
+}

@@ -30,6 +30,7 @@ import (
 
 	"ibr/internal/epoch"
 	"ibr/internal/mem"
+	"ibr/internal/obs"
 )
 
 // Ptr is a shared mutable pointer cell ("block**" in Fig. 1). Data
@@ -167,6 +168,11 @@ type Options struct {
 	// Default 8 (enough for every structure here except the Bonsai tree,
 	// which pointer-based schemes cannot run; see §5 of the paper).
 	Slots int
+	// Obs, when non-nil, receives SMR lifecycle hooks (alloc, retire,
+	// scan, free ages, epoch advances) for the flight recorder and the
+	// reclamation histograms. Nil disables observability: every hook site
+	// degrades to one nil check. The observer must be sized for Threads.
+	Obs *obs.SchemeObs
 }
 
 func (o Options) withDefaults() Options {
@@ -217,6 +223,7 @@ type base struct {
 	clock *epoch.Clock
 	res   *epoch.Table
 	opts  Options
+	obs   *obs.SchemeObs // nil when observability is off (hooks nil-check)
 	ts    []threadState
 }
 
@@ -228,6 +235,7 @@ func newBase(name string, m Memory, o Options) base {
 		clock: epoch.NewClock(),
 		res:   epoch.NewTable(o.Threads),
 		opts:  o,
+		obs:   o.Obs,
 		ts:    make([]threadState, o.Threads),
 	}
 }
@@ -294,7 +302,8 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 	ts := &b.ts[tid]
 	ts.allocCount++
 	if ts.allocCount%uint64(b.opts.EpochFreq) == 0 {
-		b.clock.Advance()
+		e := b.clock.Advance()
+		b.obs.EpochAdvance(tid, e)
 	}
 	h, ok := b.mem.Alloc(tid)
 	if !ok {
@@ -304,7 +313,9 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 			return mem.Nil
 		}
 	}
-	b.mem.SetBirth(h, b.clock.Now())
+	birth := b.clock.Now()
+	b.mem.SetBirth(h, birth)
+	b.obs.Alloc(tid, birth)
 	return h
 }
 
@@ -321,6 +332,7 @@ func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
 			return mem.Nil
 		}
 	}
+	b.obs.Alloc(tid, 0)
 	return h
 }
 
@@ -348,9 +360,11 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 	b.mem.MarkRetired(h)
 	ts.retired = append(ts.retired, retiredBlock{h: h, birth: b.mem.Birth(h), retire: e})
 	ts.unreclaimed.Store(int64(len(ts.retired)))
+	b.obs.Retire(tid, e, len(ts.retired))
 	ts.retireCount++
 	if ts.retireCount%uint64(b.opts.EpochFreq) == 0 {
-		b.clock.Advance()
+		ne := b.clock.Advance()
+		b.obs.EpochAdvance(tid, ne)
 	}
 	if ts.retireCount%uint64(b.opts.EmptyFreq) == 0 {
 		drain(tid)
@@ -364,8 +378,10 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 // batch at the end of the walk.
 func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
 	ts := &b.ts[tid]
+	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
-	ts.scanned.Add(uint64(len(ts.retired)))
+	examined := uint64(len(ts.retired))
+	ts.scanned.Add(examined)
 	kept := ts.retired[:0]
 	free := ts.freeScratch[:0]
 	for _, rb := range ts.retired {
@@ -381,14 +397,33 @@ func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
 	}
 	ts.retired = kept
 	ts.freeScratch = free
-	b.finishScan(tid, free)
+	b.finishScan(tid, free, examined, t0)
 }
 
-// finishScan frees the collected batch and settles the counters.
-func (b *base) finishScan(tid int, free []mem.Handle) {
+// finishScan frees the collected batch and settles the counters. examined
+// and t0 feed the scan-end observability hook (t0 from the matching
+// ScanStart; both are dead values when b.obs is nil).
+func (b *base) finishScan(tid int, free []mem.Handle, examined uint64, t0 uint64) {
 	ts := &b.ts[tid]
 	ts.freed.Add(uint64(len(free)))
 	ts.unreclaimed.Store(int64(len(ts.retired)))
+	if b.obs.Enabled() {
+		// Record each reclaimed block's retire→free age in epochs — the
+		// live distribution behind Fig. 9's unreclaimed growth. The retire
+		// epochs must be read before FreeBatch recycles the slots; ages are
+		// bucketed locally and flushed once so the per-block cost is a load
+		// and an increment, not an atomic RMW.
+		now := b.clock.Now()
+		var ages obs.BucketCounts
+		var sum uint64
+		for _, h := range free {
+			age := now - b.mem.RetireEpoch(h)
+			ages[obs.BucketOf(age)]++
+			sum += age
+		}
+		b.obs.FreeAgeBatch(&ages, sum)
+		b.obs.ScanEnd(tid, t0, int(examined), len(free))
+	}
 	if len(free) > 0 {
 		b.mem.FreeBatch(tid, free)
 	}
@@ -402,6 +437,7 @@ func (b *base) finishScan(tid int, free []mem.Handle) {
 // how large a stalled reservation has let the list grow.
 func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 	ts := &b.ts[tid]
+	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
 	list := ts.retired
 	free := ts.freeScratch[:0]
@@ -411,17 +447,17 @@ func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 		list[i] = retiredBlock{}
 		i++
 	}
+	examined := uint64(i)
 	if i < len(list) {
-		ts.scanned.Add(uint64(i) + 1) // the first kept block was examined too
-	} else {
-		ts.scanned.Add(uint64(i))
+		examined++ // the first kept block was examined too
 	}
+	ts.scanned.Add(examined)
 	// Advance the slice instead of copying the kept suffix down: the dead
 	// prefix is dropped when the slice next grows past its capacity, and a
 	// scan's cost stays proportional to what it freed, not what it kept.
 	ts.retired = list[i:]
 	ts.freeScratch = free
-	b.finishScan(tid, free)
+	b.finishScan(tid, free, examined, t0)
 }
 
 // interval is one reserved epoch range [lo, hi]. The conflict test of
@@ -535,6 +571,7 @@ func (b *base) summarize(tid int) *resSummary {
 // are kept in one jump without examining them.
 func (b *base) scanSummarized(tid int, sum *resSummary) {
 	ts := &b.ts[tid]
+	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
 	list := ts.retired
 	kept := list[:0]
@@ -591,7 +628,7 @@ func (b *base) scanSummarized(tid int, sum *resSummary) {
 	}
 	ts.retired = kept
 	ts.freeScratch = free
-	b.finishScan(tid, free)
+	b.finishScan(tid, free, examined, t0)
 }
 
 // scanIntervals is the shared empty() of POIBR, TagIBR and 2GEIBR: digest

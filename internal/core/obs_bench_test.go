@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ibr/internal/mem"
+	"ibr/internal/obs"
+)
+
+// BenchmarkObsHooks measures the cost of the observability hooks on the
+// scheme hot path: a start/alloc/retire/end cycle (the retire cadence
+// triggers the real scan + free-batch path every EmptyFreq iterations) with
+// the observer off (nil — the shipped default for benchmarks), on with a
+// flight recorder + all histograms, and hists-only. The acceptance bar for
+// the PR that added the hooks is <3% between off and on.
+func BenchmarkObsHooks(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		mk   func(threads int) *obs.SchemeObs
+	}{
+		{"off", func(int) *obs.SchemeObs { return nil }},
+		{"on", func(threads int) *obs.SchemeObs {
+			return obs.NewSchemeObs(obs.SchemeObsConfig{
+				Threads:   threads,
+				Recorder:  obs.NewRecorder(threads, 4096),
+				RetireAge: &obs.Hist{},
+				ScanDur:   &obs.Hist{},
+				FreeBatch: &obs.Hist{},
+			})
+		}},
+		{"hists-only", func(threads int) *obs.SchemeObs {
+			return obs.NewSchemeObs(obs.SchemeObsConfig{
+				Threads:   threads,
+				RetireAge: &obs.Hist{},
+				ScanDur:   &obs.Hist{},
+				FreeBatch: &obs.Hist{},
+			})
+		}},
+	} {
+		for _, scheme := range []string{"tagibr", "ebr"} {
+			b.Run(fmt.Sprintf("%s/%s", scheme, cfg.name), func(b *testing.B) {
+				pool := mem.New[[8]uint64](mem.Options[[8]uint64]{Threads: 1})
+				s, err := New(scheme, pool, Options{Threads: 1, Obs: cfg.mk(1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.StartOp(0)
+					h := s.Alloc(0)
+					if h.IsNil() {
+						b.Fatal("pool exhausted")
+					}
+					s.Retire(0, h)
+					s.EndOp(0)
+				}
+				b.StopTimer()
+				s.EndOp(0)
+				s.Drain(0)
+			})
+		}
+	}
+}

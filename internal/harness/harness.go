@@ -15,6 +15,7 @@ import (
 
 	"ibr/internal/core"
 	"ibr/internal/ds"
+	"ibr/internal/obs"
 )
 
 // Workload selects the operation mix of §5.
@@ -60,6 +61,12 @@ type Config struct {
 	// MeasureLatency enables per-operation latency histograms (two
 	// time.Now calls per op, ~2-5%% overhead; off by default).
 	MeasureLatency bool
+
+	// Obs, when set, runs the cell with the observability hooks live: a
+	// flight recorder ring per thread plus the retire-age/scan-duration/
+	// free-batch histograms (see internal/obs). The benchscan -obs cell uses
+	// this to price the recording overhead against an uninstrumented run.
+	Obs *obs.Options
 
 	// onReady, when set, is called with the built structure right after
 	// prefill, before workers start (used by RunSpaceSeries's sampler).
@@ -158,12 +165,25 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	totalThreads := cfg.Threads + cfg.Stalled
+	var schemeObs *obs.SchemeObs
+	if cfg.Obs != nil {
+		o := cfg.Obs.WithDefaults()
+		schemeObs = obs.NewSchemeObs(obs.SchemeObsConfig{
+			Threads:     totalThreads,
+			Recorder:    obs.NewRecorder(totalThreads, o.RingSize),
+			RetireAge:   &obs.Hist{},
+			ScanDur:     &obs.Hist{},
+			FreeBatch:   &obs.Hist{},
+			SampleEvery: o.SampleEvery,
+		})
+	}
 	m, err := ds.NewMap(cfg.Structure, ds.Config{
 		Scheme: cfg.Scheme,
 		Core: core.Options{
 			Threads:   totalThreads,
 			EpochFreq: cfg.EpochFreq,
 			EmptyFreq: cfg.EmptyFreq,
+			Obs:       schemeObs,
 		},
 		PoolSlots: cfg.PoolSlots,
 		Buckets:   cfg.Buckets,

@@ -1,0 +1,86 @@
+package mem
+
+import "testing"
+
+// TestCacheStats checks the free-list cache counters: a fresh pool's first
+// Alloc misses and carves, cached slots hit, a Free→Alloc cycle hits, and
+// slots spilled to the global list come back as a global refill.
+func TestCacheStats(t *testing.T) {
+	p := New[int](Options[int]{Threads: 2})
+
+	// First Alloc: cold cache → miss + fresh carve.
+	h, ok := p.Alloc(0)
+	if !ok {
+		t.Fatal("Alloc failed")
+	}
+	st := p.Stats()
+	if st.CacheMisses != 1 || st.FreshCarves != 1 || st.CacheHits != 0 {
+		t.Fatalf("after first alloc: hits=%d misses=%d carves=%d, want 0/1/1",
+			st.CacheHits, st.CacheMisses, st.FreshCarves)
+	}
+
+	// Second Alloc: refill left refillBatch-1 slots cached → hit.
+	h2, ok := p.Alloc(0)
+	if !ok {
+		t.Fatal("Alloc failed")
+	}
+	if st = p.Stats(); st.CacheHits != 1 {
+		t.Fatalf("after second alloc: hits=%d, want 1", st.CacheHits)
+	}
+
+	// Free then Alloc on the same tid: the slot sits in the cache → hit.
+	p.Free(0, h)
+	if _, ok = p.Alloc(0); !ok {
+		t.Fatal("Alloc failed")
+	}
+	if st = p.Stats(); st.CacheHits != 2 || st.GlobalRefills != 0 {
+		t.Fatalf("after free/alloc cycle: hits=%d globalRefills=%d, want 2/0", st.CacheHits, st.GlobalRefills)
+	}
+	p.Free(0, h2)
+
+	// Overflow tid 0's cache so it spills to the global list, then drain
+	// tid 1's cold cache: its refill must come from the global list.
+	var hs []Handle
+	for i := 0; i < cacheCap+refillBatch; i++ {
+		h, ok := p.Alloc(0)
+		if !ok {
+			t.Fatal("Alloc failed")
+		}
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		p.Free(0, h) // beyond cacheCap each Free spills refillBatch slots
+	}
+	if st = p.Stats(); st.GlobalRefills != 0 {
+		t.Fatalf("frees alone performed %d global refills", st.GlobalRefills)
+	}
+	if _, ok := p.Alloc(1); !ok {
+		t.Fatal("Alloc failed")
+	}
+	st = p.Stats()
+	if st.GlobalRefills != 1 {
+		t.Fatalf("tid 1 cold alloc after spill: globalRefills=%d, want 1", st.GlobalRefills)
+	}
+
+	// Per-thread view: tid 1 has exactly the one miss + one global refill.
+	cs := p.CacheStats()
+	if len(cs) != 2 {
+		t.Fatalf("CacheStats len = %d, want 2", len(cs))
+	}
+	if cs[1].CacheMisses != 1 || cs[1].GlobalRefills != 1 || cs[1].FreshCarves != 0 || cs[1].Allocs != 1 {
+		t.Fatalf("tid 1 cache stats = %+v, want 1 miss, 1 global refill, 0 carves, 1 alloc", cs[1])
+	}
+	if cs[0].FreshCarves == 0 || cs[0].CacheHits == 0 {
+		t.Fatalf("tid 0 cache stats = %+v, want carves and hits recorded", cs[0])
+	}
+
+	// The aggregate equals the per-thread sum.
+	var hits, misses uint64
+	for _, c := range cs {
+		hits += c.CacheHits
+		misses += c.CacheMisses
+	}
+	if hits != st.CacheHits || misses != st.CacheMisses {
+		t.Fatalf("aggregate (%d,%d) != per-thread sum (%d,%d)", st.CacheHits, st.CacheMisses, hits, misses)
+	}
+}

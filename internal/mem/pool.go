@@ -74,9 +74,13 @@ type threadCache struct {
 	slots []uint64 // free slot ids owned by this thread
 	// local statistics, folded into Stats on demand; atomic because Stats
 	// may be read while workers run
-	allocs atomic.Uint64
-	frees  atomic.Uint64
-	_      pad64
+	allocs        atomic.Uint64
+	frees         atomic.Uint64
+	cacheHits     atomic.Uint64 // Allocs served from the non-empty cache
+	cacheMisses   atomic.Uint64 // Allocs that had to refill first
+	globalRefills atomic.Uint64 // refills satisfied from the global free list
+	freshCarves   atomic.Uint64 // refills that carved never-used slots
+	_             pad64
 }
 
 // Options configures a Pool of nodes of type T.
@@ -156,8 +160,13 @@ func (p *Pool[T]) Capacity() uint64 { return p.maxSlots }
 // initialization loud in tests.
 func (p *Pool[T]) Alloc(tid int) (Handle, bool) {
 	c := &p.caches[tid]
-	if len(c.slots) == 0 && !p.refill(c) {
-		return Nil, false
+	if len(c.slots) == 0 {
+		c.cacheMisses.Add(1)
+		if !p.refill(c) {
+			return Nil, false
+		}
+	} else {
+		c.cacheHits.Add(1)
 	}
 	gid := c.slots[len(c.slots)-1]
 	c.slots = c.slots[:len(c.slots)-1]
@@ -193,11 +202,13 @@ func (p *Pool[T]) refill(c *threadCache) bool {
 		c.slots = append(c.slots, p.freeList[n-take:]...)
 		p.freeList = p.freeList[:n-take]
 		p.freeMu.Unlock()
+		c.globalRefills.Add(1)
 		return true
 	}
 	p.freeMu.Unlock()
 
 	// Carve a batch of brand-new slots.
+	carved := false
 	for i := 0; i < refillBatch; i++ {
 		gid := p.next.Add(1) - 1
 		if gid >= p.maxSlots {
@@ -206,6 +217,10 @@ func (p *Pool[T]) refill(c *threadCache) bool {
 		}
 		p.ensureSlab(gid)
 		c.slots = append(c.slots, gid)
+		carved = true
+	}
+	if carved {
+		c.freshCarves.Add(1)
 	}
 	return len(c.slots) > 0
 }
@@ -355,6 +370,18 @@ type Stats struct {
 	HighWater uint64 // slots ever touched (bump pointer)
 	Capacity  uint64
 	Slabs     int
+
+	// Free-list cache behaviour, summed over threads (per-thread detail
+	// via CacheStats): an Alloc either hits its thread cache or misses and
+	// refills — from the global free list (GlobalRefills) or by carving
+	// never-used slots (FreshCarves). A rising miss or refill rate under a
+	// steady workload means frees are landing on other threads' caches —
+	// the cross-thread producer/consumer pattern jemalloc calls remote
+	// frees.
+	CacheHits     uint64
+	CacheMisses   uint64
+	GlobalRefills uint64
+	FreshCarves   uint64
 }
 
 // Live returns Allocs - Frees: slots currently Live or Retired.
@@ -364,8 +391,13 @@ func (s Stats) Live() uint64 { return s.Allocs - s.Frees }
 func (p *Pool[T]) Stats() Stats {
 	var st Stats
 	for i := range p.caches {
-		st.Allocs += p.caches[i].allocs.Load()
-		st.Frees += p.caches[i].frees.Load()
+		c := &p.caches[i]
+		st.Allocs += c.allocs.Load()
+		st.Frees += c.frees.Load()
+		st.CacheHits += c.cacheHits.Load()
+		st.CacheMisses += c.cacheMisses.Load()
+		st.GlobalRefills += c.globalRefills.Load()
+		st.FreshCarves += c.freshCarves.Load()
 	}
 	hw := p.next.Load()
 	if hw > p.maxSlots {
@@ -375,6 +407,34 @@ func (p *Pool[T]) Stats() Stats {
 	st.Capacity = p.maxSlots
 	st.Slabs = len(*p.slabs.Load())
 	return st
+}
+
+// CacheStats is one thread's free-list cache counters.
+type CacheStats struct {
+	Allocs        uint64
+	Frees         uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	GlobalRefills uint64
+	FreshCarves   uint64
+}
+
+// CacheStats snapshots every thread cache's counters, indexed by tid. Like
+// Stats it is approximate while threads run.
+func (p *Pool[T]) CacheStats() []CacheStats {
+	out := make([]CacheStats, len(p.caches))
+	for i := range p.caches {
+		c := &p.caches[i]
+		out[i] = CacheStats{
+			Allocs:        c.allocs.Load(),
+			Frees:         c.frees.Load(),
+			CacheHits:     c.cacheHits.Load(),
+			CacheMisses:   c.cacheMisses.Load(),
+			GlobalRefills: c.globalRefills.Load(),
+			FreshCarves:   c.freshCarves.Load(),
+		}
+	}
+	return out
 }
 
 // CheckEpochRange panics if e no longer fits the packed-epoch field; the

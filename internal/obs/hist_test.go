@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	h.Record(0) // bucket 0
+	h.Record(1) // bucket 0
+	h.Record(2) // bucket 1
+	h.Record(3) // bucket 1
+	h.Record(1024)
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1030 {
+		t.Fatalf("Sum = %d, want 1030", s.Sum)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 2 || s.Buckets[10] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Buckets[:12])
+	}
+	if got := s.MaxBucket(); got != 10 {
+		t.Fatalf("MaxBucket = %d, want 10", got)
+	}
+}
+
+func TestHistQuantileMonotone(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	prev := -1.0
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.9, 0.99, 1, 2} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	if p50 := s.Quantile(0.5); p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %v, want within the bucket holding rank 500", p50)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const per = 1000
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(w*per + i))
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		_ = h.Snapshot() // concurrent reads must be race-free
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8*per {
+		t.Fatalf("Count = %d, want %d", s.Count, 8*per)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(1)
+	a.Record(100)
+	b.Record(100)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 || sa.Sum != 201 {
+		t.Fatalf("merged count/sum = %d/%d, want 3/201", sa.Count, sa.Sum)
+	}
+}

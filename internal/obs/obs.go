@@ -1,0 +1,132 @@
+// Package obs is the observability layer of the running system: a
+// per-thread lock-free flight recorder of SMR lifecycle events, a family of
+// concurrent log2-bucketed histograms (server latency per op type, scan
+// duration, free-batch size, and the paper-critical retire→free age
+// distribution), a hand-rolled Prometheus text-format encoder, and a stall
+// watchdog that turns the paper's stalled-thread experiment (§4.3.1,
+// Fig. 9) into a live alert.
+//
+// The package depends only on the standard library and knows nothing about
+// the reclamation schemes: internal/core calls into a *SchemeObs through
+// nil-safe methods (a disabled observer is a nil pointer and each hook is a
+// single predictable branch), and internal/server assembles recorders,
+// histograms and the watchdog into an engine-wide view that cmd/ibrd
+// exposes on /metrics and /debug/flightrecorder.
+package obs
+
+import "time"
+
+// start anchors every timestamp the package records. Using one process-wide
+// monotonic base keeps events from different recorders comparable and makes
+// a recorded timestamp a plain uint64 nanosecond offset.
+var start = time.Now()
+
+// nowNanos returns monotonic nanoseconds since process start.
+func nowNanos() uint64 { return uint64(time.Since(start)) }
+
+// Start returns the wall-clock anchor of the package's monotonic
+// timestamps: an event with TS t happened at Start().Add(t).
+func Start() time.Time { return start }
+
+// Now returns the package's monotonic timestamp — nanosecond offsets on the
+// same axis as every recorded event, so callers can time spans (op latency)
+// in recorder units.
+func Now() uint64 { return nowNanos() }
+
+// NoEpoch mirrors epoch.None ("no epoch reserved", the paper's MAX) without
+// importing the epoch package; the watchdog treats it as an idle slot.
+const NoEpoch = ^uint64(0)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+const (
+	// KindAlloc: a block was allocated (sampled; Epoch = birth epoch, 0
+	// for the epoch-free schemes).
+	KindAlloc Kind = 1 + iota
+	// KindRetire: a block was retired (sampled; Epoch = retire epoch,
+	// Value = retire-list length after the append).
+	KindRetire
+	// KindScanStart: a retire-list scan began (Epoch = current epoch).
+	KindScanStart
+	// KindScanEnd: the scan finished (Value = duration in nanoseconds,
+	// Epoch = blocks examined).
+	KindScanEnd
+	// KindFreeBatch: the scan's frees were batch-returned to the allocator
+	// (Value = batch size).
+	KindFreeBatch
+	// KindEpochAdvance: the global epoch advanced (Epoch = new epoch).
+	KindEpochAdvance
+	// KindStall: the watchdog flagged a reservation held past the
+	// threshold (Tid = the stalled slot, Epoch = current epoch, Value =
+	// the reservation's stale lower endpoint).
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAlloc:
+		return "alloc"
+	case KindRetire:
+		return "retire"
+	case KindScanStart:
+		return "scan_start"
+	case KindScanEnd:
+		return "scan_end"
+	case KindFreeBatch:
+		return "free_batch"
+	case KindEpochAdvance:
+		return "epoch_advance"
+	case KindStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Event is one decoded flight-recorder entry. The Epoch and Value fields
+// are kind-specific (see the Kind constants).
+type Event struct {
+	Ring  int    `json:"ring"`
+	Pos   uint64 `json:"pos"`   // position in the ring's append order
+	TS    uint64 `json:"ts_ns"` // monotonic ns since process start
+	Kind  Kind   `json:"-"`
+	Tid   int    `json:"tid"`
+	Epoch uint64 `json:"epoch"`
+	Value uint64 `json:"value"`
+}
+
+// Options tunes the observability layer; the zero value of every field
+// selects a sensible default.
+type Options struct {
+	// RingSize is the per-thread flight-recorder capacity in events
+	// (default 4096, rounded up to a power of two).
+	RingSize int
+	// SampleEvery thins the per-operation event kinds (alloc, retire) to
+	// one ring write every SampleEvery occurrences per thread (default 64,
+	// rounded up to a power of two; 1 records everything). Scans, free
+	// batches, epoch advances and stalls are always recorded — they are
+	// orders of magnitude rarer than operations.
+	SampleEvery int
+	// StallThreshold is how long a reservation may stay unchanged before
+	// the watchdog raises a stall alert (default 1s).
+	StallThreshold time.Duration
+	// WatchInterval is the watchdog poll period (default 100ms).
+	WatchInterval time.Duration
+}
+
+// WithDefaults returns o with zero fields replaced by defaults.
+func (o Options) WithDefaults() Options {
+	if o.RingSize <= 0 {
+		o.RingSize = 4096
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.StallThreshold <= 0 {
+		o.StallThreshold = time.Second
+	}
+	if o.WatchInterval <= 0 {
+		o.WatchInterval = 100 * time.Millisecond
+	}
+	return o
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled, dependency-free encoder for the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers, label
+// escaping, and cumulative histogram buckets. It implements exactly the
+// subset the daemons need; see the format reference in the Prometheus docs.
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair.
+type Label struct{ K, V string }
+
+// PromWriter accumulates an exposition. Errors from the underlying writer
+// are sticky: the first one is kept and every later call is a no-op, so
+// call sites stay linear and check Err once.
+type PromWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) emit() {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// EscapeLabel escapes a label value (backslash, double quote, newline).
+func EscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Header emits the HELP and TYPE lines for a metric family. typ is one of
+// "counter", "gauge", "histogram", "untyped".
+func (p *PromWriter) Header(name, typ, help string) {
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, escapeHelp(help)...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+	p.emit()
+}
+
+func (p *PromWriter) sample(name string, labels []Label, value string) {
+	p.buf = append(p.buf, name...)
+	if len(labels) > 0 {
+		p.buf = append(p.buf, '{')
+		for i, l := range labels {
+			if i > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, l.K...)
+			p.buf = append(p.buf, '=', '"')
+			p.buf = append(p.buf, EscapeLabel(l.V)...)
+			p.buf = append(p.buf, '"')
+		}
+		p.buf = append(p.buf, '}')
+	}
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, value...)
+	p.buf = append(p.buf, '\n')
+	p.emit()
+}
+
+// Sample emits one float sample.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	p.sample(name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Uint emits one unsigned-integer sample (counters and integer gauges keep
+// full 64-bit precision this way).
+func (p *PromWriter) Uint(name string, labels []Label, v uint64) {
+	p.sample(name, labels, strconv.FormatUint(v, 10))
+}
+
+// Int emits one signed-integer sample.
+func (p *PromWriter) Int(name string, labels []Label, v int64) {
+	p.sample(name, labels, strconv.FormatInt(v, 10))
+}
+
+// Histogram emits a histogram family member from a snapshot: cumulative
+// <name>_bucket samples with le="2^(i+1)" upper bounds (trimmed after the
+// highest non-empty bucket), the mandatory le="+Inf" bucket, and the _sum
+// and _count series. labels are the member's own labels; le is appended.
+// Call Header(name, "histogram", ...) once before the first member.
+func (p *PromWriter) Histogram(name string, labels []Label, s HistSnapshot) {
+	bl := make([]Label, len(labels)+1)
+	copy(bl, labels)
+	var cum uint64
+	last := s.MaxBucket()
+	for i := 0; i <= last; i++ {
+		cum += s.Buckets[i]
+		bl[len(labels)] = Label{"le", strconv.FormatUint(BucketUpper(i), 10)}
+		p.sample(name+"_bucket", bl, strconv.FormatUint(cum, 10))
+	}
+	bl[len(labels)] = Label{"le", "+Inf"}
+	p.sample(name+"_bucket", bl, strconv.FormatUint(s.Count, 10))
+	p.sample(name+"_sum", labels, strconv.FormatUint(s.Sum, 10))
+	p.sample(name+"_count", labels, strconv.FormatUint(s.Count, 10))
+}

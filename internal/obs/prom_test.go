@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`has "quotes"`, `has \"quotes\"`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromSamples(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("ibr_test_total", "counter", "a help line\nwith a newline and back\\slash")
+	p.Uint("ibr_test_total", []Label{{"shard", "0"}, {"note", `x"y`}}, 42)
+	p.Sample("ibr_test_ratio", nil, 0.5)
+	p.Int("ibr_test_delta", nil, -3)
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP ibr_test_total a help line\\nwith a newline and back\\\\slash\n",
+		"# TYPE ibr_test_total counter\n",
+		"ibr_test_total{shard=\"0\",note=\"x\\\"y\"} 42\n",
+		"ibr_test_ratio 0.5\n",
+		"ibr_test_delta -3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromHistogramCumulative checks the histogram encoding: buckets are
+// cumulative and monotone, the +Inf bucket equals _count, and _sum matches.
+func TestPromHistogramCumulative(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{1, 1, 3, 3, 3, 9, 200} {
+		h.Record(v)
+	}
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("ibr_age", "histogram", "test")
+	p.Histogram("ibr_age", []Label{{"shard", "1"}}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	out := sb.String()
+
+	// Parse the bucket lines back and check monotonicity + the fixed points.
+	var prev uint64
+	var infSeen bool
+	var bucketLines int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "ibr_age_bucket") {
+			continue
+		}
+		bucketLines++
+		val, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if val < prev {
+			t.Errorf("bucket counts not cumulative: %d after %d in %q", val, prev, line)
+		}
+		prev = val
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if val != 7 {
+				t.Errorf("+Inf bucket = %d, want 7", val)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket emitted")
+	}
+	// Values 1,1 → bucket 0 (le 2); 3,3,3 → bucket 1 (le 4); 9 → bucket 3
+	// (le 16); 200 → bucket 7 (le 256). Trimmed at the highest non-empty
+	// bucket: le=2,4,8,16,32,64,128,256 plus +Inf = 9 lines.
+	if bucketLines != 9 {
+		t.Errorf("got %d bucket lines, want 9 (trimmed at max bucket + Inf):\n%s", bucketLines, out)
+	}
+	for _, want := range []string{
+		`ibr_age_bucket{shard="1",le="2"} 2`,
+		`ibr_age_bucket{shard="1",le="4"} 5`,
+		`ibr_age_bucket{shard="1",le="16"} 6`,
+		`ibr_age_bucket{shard="1",le="256"} 7`,
+		`ibr_age_sum{shard="1"} 220`,
+		`ibr_age_count{shard="1"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromHistogramEmpty: an empty snapshot still emits +Inf, _sum, _count.
+func TestPromHistogramEmpty(t *testing.T) {
+	var h Hist
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Histogram("ibr_empty", nil, h.Snapshot())
+	out := sb.String()
+	for _, want := range []string{
+		`ibr_empty_bucket{le="+Inf"} 0`,
+		"ibr_empty_sum 0",
+		"ibr_empty_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+}

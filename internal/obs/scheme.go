@@ -1,0 +1,179 @@
+package obs
+
+// SchemeObs is the hook sink a reclamation scheme (internal/core) reports
+// into. Every method is safe on a nil receiver — a disabled observer is a
+// nil pointer, so the hooks compiled into the scheme hot paths cost one
+// predictable branch when observability is off. Per-operation kinds (alloc,
+// retire) are thinned by the sampling mask before touching the ring; scan-
+// rate kinds are recorded unconditionally, they are orders of magnitude
+// rarer.
+//
+// A SchemeObs serves the thread ids of exactly one scheme instance: ring
+// RingBase+tid of the recorder must be written only through this observer
+// by the goroutine leasing tid (the same single-writer contract the scheme
+// itself imposes).
+type SchemeObs struct {
+	rec        *Recorder
+	ringBase   int
+	retireAge  *Hist
+	scanDur    *Hist
+	freeBatch  *Hist
+	sampleMask uint64
+	ts         []schemeThread
+}
+
+// schemeThread is per-tid sampling state, padded so two workers' counters
+// never share a cache line.
+type schemeThread struct {
+	_       [64]byte
+	allocs  uint64
+	retires uint64
+	_       [64]byte
+}
+
+// SchemeObsConfig wires a SchemeObs.
+type SchemeObsConfig struct {
+	// Threads is the scheme's thread-id count. Required.
+	Threads int
+	// Recorder and RingBase place the per-tid event rings: tid writes ring
+	// RingBase+tid. A nil Recorder disables ring events but keeps the
+	// histograms.
+	Recorder *Recorder
+	RingBase int
+	// RetireAge observes the retire→free age in epochs of every reclaimed
+	// block (the live form of Fig. 9's unreclaimed-growth metric).
+	RetireAge *Hist
+	// ScanDur observes retire-list scan wall time in nanoseconds.
+	ScanDur *Hist
+	// FreeBatch observes blocks freed per scan (including zero-free scans).
+	FreeBatch *Hist
+	// SampleEvery thins alloc/retire ring events (default 64, rounded up
+	// to a power of two).
+	SampleEvery int
+}
+
+// NewSchemeObs builds an observer. Histograms left nil are simply not fed.
+func NewSchemeObs(cfg SchemeObsConfig) *SchemeObs {
+	if cfg.Threads <= 0 {
+		panic("obs: SchemeObsConfig.Threads must be positive")
+	}
+	se := cfg.SampleEvery
+	if se <= 0 {
+		se = 64
+	}
+	if se&(se-1) != 0 {
+		n := 1
+		for n < se {
+			n <<= 1
+		}
+		se = n
+	}
+	return &SchemeObs{
+		rec:        cfg.Recorder,
+		ringBase:   cfg.RingBase,
+		retireAge:  cfg.RetireAge,
+		scanDur:    cfg.ScanDur,
+		freeBatch:  cfg.FreeBatch,
+		sampleMask: uint64(se - 1),
+		ts:         make([]schemeThread, cfg.Threads),
+	}
+}
+
+// RetireAgeHist returns the retire→free age histogram (nil when unset).
+func (o *SchemeObs) RetireAgeHist() *Hist {
+	if o == nil {
+		return nil
+	}
+	return o.retireAge
+}
+
+// Alloc records a block allocation (sampled). epoch is the birth epoch, 0
+// for schemes that do not stamp births.
+func (o *SchemeObs) Alloc(tid int, epoch uint64) {
+	if o == nil {
+		return
+	}
+	t := &o.ts[tid]
+	t.allocs++
+	if o.rec != nil && t.allocs&o.sampleMask == 0 {
+		o.rec.Record(o.ringBase+tid, KindAlloc, tid, epoch, 0)
+	}
+}
+
+// Retire records a block retirement (sampled). backlog is the retire-list
+// length after the append.
+func (o *SchemeObs) Retire(tid int, epoch uint64, backlog int) {
+	if o == nil {
+		return
+	}
+	t := &o.ts[tid]
+	t.retires++
+	if o.rec != nil && t.retires&o.sampleMask == 0 {
+		o.rec.Record(o.ringBase+tid, KindRetire, tid, epoch, uint64(backlog))
+	}
+}
+
+// EpochAdvance records a global-epoch bump to the new value e.
+func (o *SchemeObs) EpochAdvance(tid int, e uint64) {
+	if o == nil || o.rec == nil {
+		return
+	}
+	o.rec.Record(o.ringBase+tid, KindEpochAdvance, tid, e, 0)
+}
+
+// ScanStart records the beginning of a retire-list scan and returns the
+// start timestamp for the matching ScanEnd (0 when the observer is nil —
+// still a valid argument to ScanEnd).
+func (o *SchemeObs) ScanStart(tid int, epoch uint64) uint64 {
+	if o == nil {
+		return 0
+	}
+	if o.rec != nil {
+		o.rec.Record(o.ringBase+tid, KindScanStart, tid, epoch, 0)
+	}
+	return nowNanos()
+}
+
+// ScanEnd records the completion of the scan started at t0: its duration
+// into the scan-duration histogram and a scan_end event carrying blocks
+// examined and the duration; freed goes to the free-batch histogram and,
+// when non-zero, a free_batch event.
+func (o *SchemeObs) ScanEnd(tid int, t0 uint64, examined, freed int) {
+	if o == nil {
+		return
+	}
+	dur := nowNanos() - t0
+	if o.scanDur != nil {
+		o.scanDur.Record(dur)
+	}
+	if o.freeBatch != nil {
+		o.freeBatch.Record(uint64(freed))
+	}
+	if o.rec != nil {
+		o.rec.Record(o.ringBase+tid, KindScanEnd, tid, uint64(examined), dur)
+		if freed > 0 {
+			o.rec.Record(o.ringBase+tid, KindFreeBatch, tid, uint64(examined), uint64(freed))
+		}
+	}
+}
+
+// FreeAge records one reclaimed block's retire→free age in epochs.
+func (o *SchemeObs) FreeAge(age uint64) {
+	if o == nil || o.retireAge == nil {
+		return
+	}
+	o.retireAge.Record(age)
+}
+
+// FreeAgeBatch folds one scan's locally bucketed retire→free ages into the
+// age histogram — per-bucket atomics instead of per-block.
+func (o *SchemeObs) FreeAgeBatch(counts *BucketCounts, sum uint64) {
+	if o == nil || o.retireAge == nil {
+		return
+	}
+	o.retireAge.AddBatch(counts, sum)
+}
+
+// Enabled reports whether o is non-nil; core uses it to skip per-block work
+// (the age loop) entirely when observability is off.
+func (o *SchemeObs) Enabled() bool { return o != nil }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ibr/internal/core"
 	"ibr/internal/ds"
 	"ibr/internal/epoch"
+	"ibr/internal/obs"
 )
 
 // Errors returned by Engine.Submit. In both cases the request was NOT
@@ -48,6 +50,20 @@ type EngineConfig struct {
 	PoolSlots uint64
 	// Buckets sets the hash map bucket count per shard (0 = default).
 	Buckets int
+
+	// Obs enables the observability layer — flight recorder, latency/scan/
+	// retire-age histograms, and the stall watchdog (see internal/obs). Nil
+	// disables it: the hooks stay compiled in but cost one pointer test.
+	Obs *obs.Options
+
+	// Stalled injects the paper's preempted thread (§4.3.1) into the live
+	// engine: each shard gets this many extra scheme tids whose goroutines
+	// repeatedly publish a reservation, park for StallFor (default 2s), and
+	// withdraw it. They serve no requests — they exist to pin reclamation so
+	// the lag telemetry (epoch lag, unreclaimed growth, stall alerts) can be
+	// watched against a known cause.
+	Stalled  int
+	StallFor time.Duration
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -65,6 +81,12 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4096
+	}
+	if c.Stalled < 0 {
+		c.Stalled = 0
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 2 * time.Second
 	}
 	return c
 }
@@ -99,7 +121,10 @@ type shard struct {
 type Engine struct {
 	cfg       EngineConfig
 	shards    []*shard
+	obs       *EngineObs // nil when cfg.Obs is nil
 	wg        sync.WaitGroup
+	stallStop chan struct{} // nil unless cfg.Stalled > 0
+	stallWG   sync.WaitGroup
 	closeOnce sync.Once
 }
 
@@ -111,14 +136,21 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("server: scheme %q cannot run structure %q", cfg.Scheme, cfg.Structure)
 	}
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	// Stalled reservation holders are extra tids beyond the workers, so the
+	// scheme (and the observer's ring layout) is sized for both.
+	tids := cfg.WorkersPerShard + cfg.Stalled
+	if cfg.Obs != nil {
+		e.obs = newEngineObs(*cfg.Obs, cfg.Shards, tids)
+	}
 	for i := range e.shards {
 		m, err := ds.NewMap(cfg.Structure, ds.Config{
 			Scheme: cfg.Scheme,
 			Core: core.Options{
-				Threads:   cfg.WorkersPerShard,
+				Threads:   tids,
 				EpochFreq: cfg.EpochFreq,
 				EmptyFreq: cfg.EmptyFreq,
 				Slots:     cfg.Slots,
+				Obs:       e.obs.schemeObs(i),
 			},
 			PoolSlots: cfg.PoolSlots,
 			Buckets:   cfg.Buckets,
@@ -128,14 +160,47 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		e.shards[i] = &shard{m: m, inst: m.(ds.Instrumented), q: newReqQueue(cfg.QueueDepth)}
 	}
+	e.obs.startWatchdog(e)
 	for _, sh := range e.shards {
 		for tid := 0; tid < cfg.WorkersPerShard; tid++ {
 			e.wg.Add(1)
 			go e.worker(sh, tid)
 		}
 	}
+	if cfg.Stalled > 0 {
+		e.stallStop = make(chan struct{})
+		for _, sh := range e.shards {
+			for j := 0; j < cfg.Stalled; j++ {
+				e.stallWG.Add(1)
+				go e.staller(sh.inst.Scheme(), cfg.WorkersPerShard+j)
+			}
+		}
+	}
 	return e, nil
 }
+
+// staller owns one injected-stall tid: publish a reservation, park for
+// StallFor, withdraw, repeat. Exactly the harness's stalled worker, running
+// against the serving engine.
+func (e *Engine) staller(s core.Scheme, tid int) {
+	defer e.stallWG.Done()
+	for {
+		s.StartOp(tid)
+		stop := false
+		select {
+		case <-e.stallStop:
+			stop = true
+		case <-time.After(e.cfg.StallFor):
+		}
+		s.EndOp(tid)
+		if stop {
+			return
+		}
+	}
+}
+
+// Obs returns the engine's observability state, nil when disabled.
+func (e *Engine) Obs() *EngineObs { return e.obs }
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() EngineConfig { return e.cfg }
@@ -191,7 +256,18 @@ func (e *Engine) worker(sh *shard, tid int) {
 		}
 		for i := range batch {
 			r := &batch[i]
-			resp := e.exec(sh, tid, r)
+			var resp Resp
+			if eo := e.obs; eo != nil {
+				if li := latIndex(r.op); li >= 0 {
+					t0 := obs.Now()
+					resp = e.exec(sh, tid, r)
+					eo.opLat[li].Record(obs.Now() - t0)
+				} else {
+					resp = e.exec(sh, tid, r)
+				}
+			} else {
+				resp = e.exec(sh, tid, r)
+			}
 			sh.ops.Add(1)
 			r.done(resp)
 			batch[i] = request{} // release the done closure promptly
@@ -250,6 +326,11 @@ func (e *Engine) Close() {
 	// sync.Once blocks concurrent callers until the drain completes, so
 	// every Close returns only once the engine is fully quiescent.
 	e.closeOnce.Do(func() {
+		// Withdraw injected stalls first so the final scans can reclaim.
+		if e.stallStop != nil {
+			close(e.stallStop)
+			e.stallWG.Wait()
+		}
 		for _, sh := range e.shards {
 			sh.q.close()
 		}
@@ -257,6 +338,7 @@ func (e *Engine) Close() {
 		for _, sh := range e.shards {
 			core.DrainAll(sh.inst.Scheme(), e.cfg.WorkersPerShard)
 		}
+		e.obs.stop()
 	})
 }
 

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+
+	"ibr/internal/obs"
+)
+
+// WriteMetrics emits the engine's full Prometheus text exposition: per-shard
+// serving and reclamation gauges/counters (always available — they come from
+// Engine.Stats), the allocator cache counters, and, when observability is
+// enabled, the histogram families (retire→free age per shard, scan duration,
+// free-batch size, op latency) plus the watchdog and flight-recorder series.
+// srv may be nil; when set, the connection front end's counters ride along.
+func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
+	p := obs.NewPromWriter(w)
+	stats := e.Stats()
+	shardLabel := make([][]obs.Label, len(stats))
+	for i := range stats {
+		shardLabel[i] = []obs.Label{{K: "shard", V: strconv.Itoa(i)}}
+	}
+
+	p.Header("ibr_engine_info", "gauge", "Engine configuration (value is always 1).")
+	p.Uint("ibr_engine_info", []obs.Label{
+		{K: "structure", V: e.cfg.Structure},
+		{K: "scheme", V: e.cfg.Scheme},
+		{K: "workers_per_shard", V: strconv.Itoa(e.cfg.WorkersPerShard)},
+	}, 1)
+
+	p.Header("ibr_ops_total", "counter", "Operations completed per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_ops_total", shardLabel[i], s.Ops)
+	}
+	p.Header("ibr_queue_depth", "gauge", "Requests queued per shard.")
+	for i, s := range stats {
+		p.Int("ibr_queue_depth", shardLabel[i], int64(s.QueueDepth))
+	}
+	p.Header("ibr_unreclaimed", "gauge", "Retired-but-unreclaimed blocks per shard (the paper's Fig. 9 metric).")
+	for i, s := range stats {
+		p.Int("ibr_unreclaimed", shardLabel[i], int64(s.Unreclaimed))
+	}
+	p.Header("ibr_live_blocks", "gauge", "Live node-pool slots per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_live_blocks", shardLabel[i], s.Live)
+	}
+	p.Header("ibr_epoch", "gauge", "Shard scheme's current global epoch (0 for epoch-free schemes).")
+	for i, s := range stats {
+		p.Uint("ibr_epoch", shardLabel[i], s.Epoch)
+	}
+	p.Header("ibr_epoch_lag", "gauge", "Current epoch minus the oldest reserved lower endpoint, per shard (0 when idle).")
+	for i, s := range stats {
+		p.Uint("ibr_epoch_lag", shardLabel[i], s.EpochLag)
+	}
+	p.Header("ibr_scans_total", "counter", "Retire-list scans per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_scans_total", shardLabel[i], s.Scan.Scans)
+	}
+	p.Header("ibr_scan_examined_total", "counter", "Retired blocks examined by scans per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_scan_examined_total", shardLabel[i], s.Scan.Scanned)
+	}
+	p.Header("ibr_scan_freed_total", "counter", "Blocks freed by scans per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_scan_freed_total", shardLabel[i], s.Scan.Freed)
+	}
+
+	p.Header("ibr_pool_cache_hits_total", "counter", "Thread-cache Alloc hits per shard pool.")
+	p.Header("ibr_pool_cache_misses_total", "counter", "Thread-cache Alloc misses per shard pool.")
+	p.Header("ibr_pool_global_refills_total", "counter", "Cache refills served by the global free list per shard pool.")
+	p.Header("ibr_pool_fresh_carves_total", "counter", "Cache refills carved from never-used slots per shard pool.")
+	for i, sh := range e.shards {
+		ps := sh.inst.PoolStats()
+		p.Uint("ibr_pool_cache_hits_total", shardLabel[i], ps.CacheHits)
+		p.Uint("ibr_pool_cache_misses_total", shardLabel[i], ps.CacheMisses)
+		p.Uint("ibr_pool_global_refills_total", shardLabel[i], ps.GlobalRefills)
+		p.Uint("ibr_pool_fresh_carves_total", shardLabel[i], ps.FreshCarves)
+	}
+
+	if eo := e.obs; eo != nil {
+		scheme := []obs.Label{{K: "scheme", V: e.cfg.Scheme}}
+		p.Header("ibr_retire_age", "histogram", "Retire-to-free age of reclaimed blocks, in epochs, per shard.")
+		for i := range eo.retireAge {
+			p.Histogram("ibr_retire_age", append(shardLabel[i], scheme[0]), eo.retireAge[i].Snapshot())
+		}
+		p.Header("ibr_scan_duration_ns", "histogram", "Retire-list scan wall time in nanoseconds.")
+		p.Histogram("ibr_scan_duration_ns", scheme, eo.scanDur.Snapshot())
+		p.Header("ibr_free_batch_size", "histogram", "Blocks freed per scan (zero-free scans included).")
+		p.Histogram("ibr_free_batch_size", scheme, eo.freeBatch.Snapshot())
+		p.Header("ibr_op_latency_ns", "histogram", "In-shard execution latency per op type in nanoseconds.")
+		for i, h := range eo.opLat {
+			p.Histogram("ibr_op_latency_ns", []obs.Label{{K: "op", V: latNames[i]}}, h.Snapshot())
+		}
+
+		if wd := eo.watchdog; wd != nil {
+			p.Header("ibr_stall_alerts_total", "counter", "Stall alerts raised (reservation unchanged past the threshold).")
+			p.Uint("ibr_stall_alerts_total", nil, wd.Alerts())
+			p.Header("ibr_stalled_reservations", "gauge", "Reservations currently held past the stall threshold.")
+			p.Int("ibr_stalled_reservations", nil, wd.Stalled())
+			p.Header("ibr_max_epoch_lag", "gauge", "Largest epoch minus reserved lower endpoint at the last watchdog tick.")
+			p.Uint("ibr_max_epoch_lag", nil, wd.MaxEpochLag())
+		}
+
+		p.Header("ibr_flight_events_total", "counter", "Flight-recorder events written across all rings.")
+		p.Uint("ibr_flight_events_total", nil, eo.rec.Written())
+		p.Header("ibr_flight_dropped_total", "counter", "Flight-recorder events overwritten before any dump saw them.")
+		p.Uint("ibr_flight_dropped_total", nil, eo.rec.Dropped())
+	}
+
+	if srv != nil {
+		p.Header("ibrd_connections_accepted_total", "counter", "TCP connections accepted.")
+		p.Uint("ibrd_connections_accepted_total", nil, srv.Accepted())
+		p.Header("ibrd_conns_dropped_proto_total", "counter", "Connections dropped for protocol violations.")
+		p.Uint("ibrd_conns_dropped_proto_total", nil, srv.ProtoDropped())
+		p.Header("ibrd_frames_rejected_total", "counter", "Frames rejected with an error status but the connection kept.")
+		p.Uint("ibrd_frames_rejected_total", nil, srv.ProtoRejected())
+	}
+	return p.Err()
+}
+
+// MetricsHandler serves WriteMetrics as a Prometheus scrape endpoint.
+// srv may be nil when no connection front end exists (tests).
+func MetricsHandler(e *Engine, srv *Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = e.WriteMetrics(w, srv)
+	})
+}
+
+// FlightRecorderHandler dumps the flight recorder as JSONL. The snapshot
+// never blocks the writing workers; an engine without observability serves
+// 404 so scripts can probe for the capability.
+func FlightRecorderHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := e.Obs().Recorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled (run with -obs)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = rec.WriteJSONL(w)
+	})
+}
