@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke clean
+.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke clean
 
 all: build vet lint test
 
@@ -91,6 +91,39 @@ obssmoke:
 	grep -q '^ibr_retire_age_bucket{' /tmp/obssmoke_metrics.txt; \
 	awk -F' ' '/^ibr_retire_age_count/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/obssmoke_metrics.txt; \
 	echo "obssmoke: key series present and non-empty"; exit $$rc
+
+# Degradation smoke, two legs (see DESIGN.md §7).
+# Leg 1: EBR with injected stallers pinning reservations for 3s and a 300ms
+# quarantine threshold — assert tids actually get quarantined mid-stall
+# (metrics scrape + exit summary) and SIGTERM still drains to 0 blocks
+# unreclaimed even though stalls are in flight when it lands.
+# Leg 2: the leak scheme on a tiny pool — exhaustion must surface as BUSY
+# (typed backpressure the retrying client absorbs; ibrload exits 0), with
+# ibr_pool_exhausted_total counting it and no shard panic.
+chaossmoke:
+	$(GO) build -o bin/ibrd ./cmd/ibrd
+	$(GO) build -o bin/ibrload ./cmd/ibrload
+	@./bin/ibrd -addr 127.0.0.1:4300 -http 127.0.0.1:4301 -r hashmap -d ebr \
+	  -shards 2 -workers 2 -stalled 2 -stallfor 3s \
+	  -quarantine-after 300ms -remedy-interval 25ms > /tmp/chaossmoke_ibrd.txt & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4300 -c 4 -p 4 -i 3 & load=$$!; \
+	sleep 2; curl -sf http://127.0.0.1:4301/metrics > /tmp/chaossmoke_metrics.txt; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	test $$rc -eq 0 && \
+	awk '/^ibr_tid_quarantines_total/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/chaossmoke_metrics.txt && \
+	grep -q 'degradation: .* tid quarantines' /tmp/chaossmoke_ibrd.txt && \
+	grep -q ' 0 blocks unreclaimed after final scan' /tmp/chaossmoke_ibrd.txt && \
+	echo "chaossmoke leg 1: quarantined mid-stall, drained to 0 with stalls in flight"
+	@./bin/ibrd -addr 127.0.0.1:4310 -http 127.0.0.1:4311 -r hashmap -d none \
+	  -shards 2 -workers 2 -poolslots 2048 > /tmp/chaossmoke_ibrd2.txt & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4310 -c 4 -p 4 -i 2 -prefill 0 & load=$$!; \
+	sleep 1; curl -sf http://127.0.0.1:4311/metrics > /tmp/chaossmoke_metrics2.txt; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	test $$rc -eq 0 && \
+	awk '/^ibr_pool_exhausted_total/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/chaossmoke_metrics2.txt && \
+	echo "chaossmoke leg 2: pool exhaustion absorbed as BUSY, load exited clean"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -58,6 +58,12 @@ func main() {
 		stallThresh = flag.Duration("stall-threshold", time.Second, "reservation age past which the watchdog raises a stall alert")
 		stalled     = flag.Int("stalled", 0, "injected stalled reservation holders per shard (the paper's preempted thread; for watching reclamation lag)")
 		stallFor    = flag.Duration("stallfor", 2*time.Second, "how long each injected stall pins its reservation")
+
+		softWater  = flag.Float64("soft-watermark", 0.5, "unreclaimed fraction of pool capacity that triggers forced scans")
+		hardWater  = flag.Float64("hard-watermark", 0.85, "unreclaimed fraction of pool capacity above which the shard sheds (BUSY)")
+		quarAfter  = flag.Duration("quarantine-after", time.Second, "how long a parked lease holder's reservation may sit before its tid is quarantined")
+		remedyIntv = flag.Duration("remedy-interval", 50*time.Millisecond, "remediation loop poll period (watermarks + quarantine)")
+		spares     = flag.Int("spares", 2, "spare scheme tids per shard for replacement workers after a quarantine")
 	)
 	flag.Parse()
 
@@ -75,6 +81,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ibrd: scheme %q cannot run structure %q\n", *scheme, *structure)
 		os.Exit(2)
 	}
+	if *softWater <= 0 || *softWater >= *hardWater || *hardWater > 1 {
+		fmt.Fprintf(os.Stderr, "ibrd: watermarks must satisfy 0 < soft < hard <= 1, got soft=%v hard=%v\n",
+			*softWater, *hardWater)
+		os.Exit(2)
+	}
+	if *spares < 1 {
+		fmt.Fprintf(os.Stderr, "ibrd: -spares must be at least 1 (replacement workers draw from them), got %d\n", *spares)
+		os.Exit(2)
+	}
 
 	cfg := server.EngineConfig{
 		Structure: *structure, Scheme: *scheme,
@@ -82,6 +97,9 @@ func main() {
 		EpochFreq: *epochf, EmptyFreq: *emptyf,
 		Buckets: *buckets, PoolSlots: *poolSlots,
 		Stalled: *stalled, StallFor: *stallFor,
+		SoftWatermark: *softWater, HardWatermark: *hardWater,
+		QuarantineAfter: *quarAfter, RemedyInterval: *remedyIntv,
+		SpareTids: *spares,
 	}
 	if *obsOn {
 		cfg.Obs = &obs.Options{
@@ -149,14 +167,21 @@ func main() {
 		srv.Shutdown()
 	}
 
-	var ops uint64
+	var ops, quarantines, shed, deaths uint64
 	var unreclaimed int
 	for _, st := range eng.Stats() {
 		ops += st.Ops
 		unreclaimed += st.Unreclaimed
+		quarantines += st.Quarantines
+		shed += st.Shed
+		deaths += st.Deaths
 	}
 	fmt.Printf("ibrd: drained: %d ops served over %d connections, %d blocks unreclaimed after final scan\n",
 		ops, srv.Accepted(), unreclaimed)
+	if quarantines+shed+deaths > 0 {
+		fmt.Printf("ibrd: degradation: %d tid quarantines, %d submits shed, %d worker deaths\n",
+			quarantines, shed, deaths)
+	}
 	// Final telemetry snapshot for post-mortems: the same exposition /metrics
 	// served, frozen at quiescence.
 	fmt.Fprintln(os.Stderr, "ibrd: final metrics snapshot:")

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -33,12 +35,18 @@ func main() {
 		keyRange = flag.Uint64("range", 65536, "key range")
 		prefill  = flag.Float64("prefill", 0.5, "fraction of the key range PUT before timing")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-operation deadline (0 disables)")
+		retries   = flag.Int("retries", 4, "attempts per operation against BUSY responses")
+		retryBase = flag.Duration("retry-base", time.Millisecond, "initial retry backoff (pre-jitter)")
+		retryMax  = flag.Duration("retry-max", 50*time.Millisecond, "retry backoff cap (pre-jitter)")
 	)
 	flag.Parse()
 	if *mode != "write" && *mode != "read" {
 		fmt.Fprintf(os.Stderr, "ibrload: unknown mode %q; valid: write, read\n", *mode)
 		os.Exit(2)
 	}
+	policy := server.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax}
 
 	clients := make([]*server.Client, *conns)
 	for i := range clients {
@@ -56,7 +64,7 @@ func main() {
 	}
 
 	if *prefill > 0 {
-		if err := doPrefill(clients[0], *keyRange, *prefill, *seed); err != nil {
+		if err := doPrefill(clients[0], *keyRange, *prefill, *seed, policy); err != nil {
 			fmt.Fprintln(os.Stderr, "ibrload: prefill:", err)
 			os.Exit(1)
 		}
@@ -71,6 +79,7 @@ func main() {
 		readHist, writeHist  harness.LatencyHist
 		ok, notFound, exists uint64
 		busy, protoErr       uint64
+		shed, timeouts       uint64 // non-fatal: retries exhausted / deadline hit
 		err                  error
 	}
 	var (
@@ -101,11 +110,32 @@ func main() {
 					} else if rng.Intn(2) == 0 {
 						op = server.OpDel
 					}
+					ctx := context.Background()
+					var cancel context.CancelFunc
+					if *timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, *timeout)
+					}
 					t0 := time.Now()
-					resp, err := cl.Do(op, key, key*2+1)
+					resp, err := cl.DoRetry(ctx, op, key, key*2+1, policy)
+					if cancel != nil {
+						cancel()
+					}
 					if err != nil {
-						out.err = err
-						return
+						// Overload outcomes are part of the measurement, not
+						// failures: a server shedding load answers BUSY past
+						// the retry budget, and a deadline can expire while
+						// backing off. Only transport errors are fatal.
+						switch {
+						case errors.Is(err, server.ErrBusy):
+							out.shed++
+							continue
+						case errors.Is(err, context.DeadlineExceeded):
+							out.timeouts++
+							continue
+						default:
+							out.err = err
+							return
+						}
 					}
 					if op == server.OpGet {
 						out.readHist.Record(time.Since(t0))
@@ -143,14 +173,27 @@ func main() {
 		total.exists += o.exists
 		total.busy += o.busy
 		total.protoErr += o.protoErr
+		total.shed += o.shed
+		total.timeouts += o.timeouts
 		if o.err != nil && total.err == nil {
 			total.err = o.err
 		}
 	}
+	var retried uint64
+	for _, cl := range clients {
+		retried += cl.Retries()
+	}
 	ops := total.readHist.Count() + total.writeHist.Count()
+	attempts := ops + total.shed + total.timeouts
 	fmt.Printf("ibrload: %d conns × %d pipeline, %s mode, %v\n", *conns, *pipeline, *mode, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %d ops, %.4f Mops/s (ok %d, not-found %d, exists %d, busy %d)\n",
 		ops, float64(ops)/elapsed.Seconds()/1e6, total.ok, total.notFound, total.exists, total.busy)
+	if attempts > 0 {
+		fmt.Printf("  overload: shed %d (%.2f%%), timeouts %d (%.2f%%), busy retries %d (%.4f/op)\n",
+			total.shed, 100*float64(total.shed)/float64(attempts),
+			total.timeouts, 100*float64(total.timeouts)/float64(attempts),
+			retried, float64(retried)/float64(attempts))
+	}
 	for _, c := range []struct {
 		name string
 		h    *harness.LatencyHist
@@ -172,7 +215,7 @@ func main() {
 // round trips out over a small issuer pool so a large range loads quickly.
 // On failure the issuers keep draining the feed (without issuing) so the
 // feeder can never block on a dead pool.
-func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64) error {
+func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64, policy server.RetryPolicy) error {
 	const issuers = 32
 	var (
 		keys   = make(chan uint64, issuers)
@@ -197,7 +240,7 @@ func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64) err
 				if failed.Load() {
 					continue
 				}
-				r, err := cl.Do(server.OpPut, k, k*2+1)
+				r, err := cl.DoRetry(context.Background(), server.OpPut, k, k*2+1, policy)
 				if err != nil {
 					report(err)
 				} else if r.Status != server.StatusOK && r.Status != server.StatusExists {

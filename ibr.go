@@ -22,6 +22,9 @@
 package ibr
 
 import (
+	"fmt"
+	"strings"
+
 	"ibr/internal/core"
 	"ibr/internal/ds"
 	"ibr/internal/harness"
@@ -82,6 +85,30 @@ type Config struct {
 	PoolSlots uint64
 	// Buckets is the hash map bucket count (default 16384).
 	Buckets int
+	// Obs attaches a scheme observer (flight recorder + histograms; see
+	// NewSchemeObs). Nil disables observability at the cost of one pointer
+	// test per hook.
+	Obs *SchemeObs
+}
+
+// Validate reports the first configuration error, or nil. The constructors
+// call it, so callers only need it to fail fast (e.g. flag parsing) before
+// building anything.
+func (c Config) Validate() error {
+	if c.Scheme != "" && !core.IsScheme(c.Scheme) {
+		return fmt.Errorf("ibr: unknown scheme %q; valid: %s", c.Scheme, strings.Join(Schemes(), ", "))
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("ibr: Threads must be positive, got %d", c.Threads)
+	}
+	if c.EpochFreq < 0 || c.EmptyFreq < 0 || c.Slots < 0 {
+		return fmt.Errorf("ibr: EpochFreq, EmptyFreq and Slots must be non-negative, got %d/%d/%d",
+			c.EpochFreq, c.EmptyFreq, c.Slots)
+	}
+	if c.Buckets < 0 {
+		return fmt.Errorf("ibr: Buckets must be non-negative, got %d", c.Buckets)
+	}
+	return nil
 }
 
 func (c Config) dsConfig() ds.Config {
@@ -92,6 +119,7 @@ func (c Config) dsConfig() ds.Config {
 			EpochFreq: c.EpochFreq,
 			EmptyFreq: c.EmptyFreq,
 			Slots:     c.Slots,
+			Obs:       c.Obs,
 		},
 		PoolSlots: c.PoolSlots,
 		Buckets:   c.Buckets,
@@ -103,14 +131,27 @@ func (c Config) dsConfig() ds.Config {
 // "bonsai" (persistent weight-balanced tree), or "skiplist" (lock-free
 // skip list).
 func NewMap(structure string, cfg Config) (Map, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return ds.NewMap(structure, cfg.dsConfig())
 }
 
 // NewStack builds a Treiber stack.
-func NewStack(cfg Config) (*Stack, error) { return ds.NewStack(cfg.dsConfig()) }
+func NewStack(cfg Config) (*Stack, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return ds.NewStack(cfg.dsConfig())
+}
 
 // NewQueue builds a Michael–Scott queue.
-func NewQueue(cfg Config) (*Queue, error) { return ds.NewQueue(cfg.dsConfig()) }
+func NewQueue(cfg Config) (*Queue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return ds.NewQueue(cfg.dsConfig())
+}
 
 // Drain forces a scan of every thread's retire list. Call it at
 // quiescence (no operations in flight) — e.g. at shutdown — to release the

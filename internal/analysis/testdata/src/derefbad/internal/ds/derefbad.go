@@ -38,3 +38,12 @@ func (q *Q) MaybeBracket(tid int, guard bool) uint64 {
 	h := q.head.Raw()        // want "Ptr.Raw outside the reservation bracket"
 	return q.pool.Get(h).Val // want "Pool.Get outside the reservation bracket"
 }
+
+// AdoptAndPeek runs a quarantine transfer and then dereferences pool memory
+// anyway: the transfer's ignore directive covers the bookkeeping move, not
+// reads — those still need a bracket of their own.
+func (q *Q) AdoptAndPeek(victim, tid int, h mem.Handle) uint64 {
+	//ibrlint:ignore quarantine: victim verified parked or dead via lease table
+	core.AdoptRetired(q.s, victim, tid)
+	return q.pool.Get(h).Val // want "Pool.Get outside the reservation bracket"
+}

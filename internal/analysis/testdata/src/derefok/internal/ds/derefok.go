@@ -13,6 +13,14 @@ type Q struct {
 	head core.Ptr
 }
 
+// Quarantine adopts a victim's retire list without touching pool memory:
+// pure bookkeeping needs no reservation bracket, only the transfer
+// directive.
+func (q *Q) Quarantine(victim, tid int) int {
+	//ibrlint:ignore quarantine: victim verified parked or dead via lease table
+	return core.AdoptRetired(q.s, victim, tid)
+}
+
 // Get brackets the traversal; nothing to report.
 func (q *Q) Get(tid int) uint64 {
 	q.s.StartOp(tid)

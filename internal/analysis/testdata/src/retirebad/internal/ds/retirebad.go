@@ -2,7 +2,10 @@
 // substrate.
 package ds
 
-import "stub/internal/mem"
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
 
 type T struct {
 	pool *mem.Pool
@@ -16,4 +19,13 @@ func (t *T) Drop(tid int, h mem.Handle) {
 // DropBatch is the batched variant.
 func (t *T) DropBatch(tid int, hs []mem.Handle) {
 	t.pool.FreeBatch(tid, hs) // want "direct FreeBatch bypasses reclamation"
+}
+
+// Steal transfers another tid's state with no evidence its holder is parked
+// or dead — both the package-function and the method forms must be flagged.
+func Steal(s core.Scheme, tr core.Transferer, victim, tid int) {
+	core.ClearReservation(s, victim) // want "cross-tid ClearReservation acts on another thread's reservation state"
+	core.AdoptRetired(s, victim, tid) // want "cross-tid AdoptRetired acts on another thread's reservation state"
+	tr.ClearReservation(victim)       // want "cross-tid ClearReservation acts on another thread's reservation state"
+	tr.AdoptRetired(victim, tid)      // want "cross-tid AdoptRetired acts on another thread's reservation state"
 }

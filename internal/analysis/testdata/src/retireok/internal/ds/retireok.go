@@ -15,3 +15,12 @@ type T struct {
 func (t *T) Unlink(tid int, h mem.Handle) {
 	t.s.Retire(tid, h)
 }
+
+// Quarantine is the sanctioned transfer idiom: each cross-tid call carries
+// an //ibrlint:ignore directive stating the parked-or-dead evidence.
+func (t *T) Quarantine(victim, tid int) {
+	//ibrlint:ignore quarantine: holder verified parked or dead via lease table
+	core.ClearReservation(t.s, victim)
+	//ibrlint:ignore quarantine: victim revoked, this goroutine owns the adopting tid
+	core.AdoptRetired(t.s, victim, tid)
+}

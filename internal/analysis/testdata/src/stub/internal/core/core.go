@@ -20,3 +20,25 @@ type Scheme interface {
 	CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool
 	Retire(tid int, h mem.Handle)
 }
+
+// Transferer mirrors the cross-tid transfer surface.
+type Transferer interface {
+	AdoptRetired(from, to int) int
+	ClearReservation(tid int)
+}
+
+// AdoptRetired mirrors the package-function form of retire-list adoption.
+func AdoptRetired(s Scheme, from, to int) int {
+	if t, ok := s.(Transferer); ok {
+		return t.AdoptRetired(from, to)
+	}
+	return 0
+}
+
+// ClearReservation mirrors the package-function form of the cross-tid
+// reservation clear.
+func ClearReservation(s Scheme, tid int) {
+	if t, ok := s.(Transferer); ok {
+		t.ClearReservation(tid)
+	}
+}

@@ -203,6 +203,7 @@ type threadState struct {
 	_           [64]byte
 	allocCount  uint64
 	retireCount uint64
+	allocFailed bool // last Alloc returned Nil for pool exhaustion
 	retired     []retiredBlock
 	unreclaimed atomic.Int64 // len(retired), readable by samplers
 	scratch     []uint64      // scan scratch (HP address / HE era snapshot)
@@ -242,6 +243,29 @@ func newBase(name string, m Memory, o Options) base {
 
 func (b *base) Name() string            { return b.name }
 func (b *base) Unreclaimed(tid int) int { return int(b.ts[tid].unreclaimed.Load()) }
+
+// TakeAllocFailed reports whether tid's most recent Scheme.Alloc returned
+// Nil because the pool was exhausted, clearing the flag. It distinguishes
+// "the structure op failed because the key was there" from "the op failed
+// because no node could be allocated" — ds operations collapse both into a
+// false return, and the serving layer must answer BUSY (overload) for the
+// latter, never EXISTS. Like Alloc itself, it may only be called by the
+// goroutine owning tid.
+func (b *base) TakeAllocFailed(tid int) bool {
+	ts := &b.ts[tid]
+	f := ts.allocFailed
+	ts.allocFailed = false
+	return f
+}
+
+// AllocFailed invokes TakeAllocFailed on schemes that track exhaustion
+// (every registered scheme does, via base).
+func AllocFailed(s Scheme, tid int) bool {
+	if a, ok := s.(interface{ TakeAllocFailed(int) bool }); ok {
+		return a.TakeAllocFailed(tid)
+	}
+	return false
+}
 func (b *base) Unreserve(tid, idx int)  {}
 func (b *base) checkTid(tid int)        { _ = &b.ts[tid] }
 
@@ -300,6 +324,7 @@ func (b *base) Reservations() *epoch.Table { return b.res }
 // epoch. Used by every scheme that tags births (all but EBR, HP, NoMM).
 func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 	ts := &b.ts[tid]
+	ts.allocFailed = false
 	ts.allocCount++
 	if ts.allocCount%uint64(b.opts.EpochFreq) == 0 {
 		e := b.clock.Advance()
@@ -310,6 +335,7 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 		// Last resort: reclaim our own garbage, then retry once.
 		drain(tid)
 		if h, ok = b.mem.Alloc(tid); !ok {
+			ts.allocFailed = true
 			return mem.Nil
 		}
 	}
@@ -323,12 +349,15 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 //
 //ibrlint:ignore non-interval schemes: EBR, HP and NoMM never read birth epochs, so stamping is dead work
 func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
+	ts := &b.ts[tid]
+	ts.allocFailed = false
 	h, ok := b.mem.Alloc(tid)
 	if !ok {
 		if drain != nil {
 			drain(tid)
 		}
 		if h, ok = b.mem.Alloc(tid); !ok {
+			ts.allocFailed = true
 			return mem.Nil
 		}
 	}

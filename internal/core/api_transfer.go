@@ -1,5 +1,92 @@
 package core
 
+// This file is the tid-transfer surface of the reclamation substrate: the
+// primitives that move protection or reclamation state from one thread id
+// to another. TransferSlot is the benign, in-operation form (a traversal's
+// node roles shift under one tid). AdoptRetired and ClearReservation are the
+// dangerous, cross-tid form used by the serving engine's stall quarantine:
+// they act on ANOTHER tid's state, which is sound only when that tid's
+// holder can be proven to never act under it again (its goroutine is parked
+// holding no node references, or has exited). ibrlint's retirefree analyzer
+// flags every call outside internal/core and internal/mem so each use site
+// must carry an //ibrlint:ignore directive stating that evidence — see
+// DESIGN.md §7 for the safety argument.
+
 // TransferSlot is a no-op for schemes without per-slot protection (all
 // epoch- and interval-based schemes); HP and HE override it.
 func (b *base) TransferSlot(tid, from, to int) {}
+
+// AdoptRetired moves every block on from's retire list onto to's, returning
+// the number of blocks adopted. Both lists are kept in retire-epoch order —
+// the invariant the prefix (EBR) and merge-pointer (summarized) scans rely
+// on — so adoption is a merge, not an append: the clock is global and
+// monotone, but the two threads' retirements interleave arbitrarily, and a
+// naive append would put an old orphaned backlog after to's fresh tail.
+//
+// The caller must own tid `to` (be its single goroutine) and must have
+// established that no goroutine owns `from`: the from-side retire list is
+// read without synchronization, exactly like its owner would read it.
+func (b *base) AdoptRetired(from, to int) int {
+	if from == to {
+		return 0
+	}
+	src := &b.ts[from]
+	dst := &b.ts[to]
+	n := len(src.retired)
+	if n == 0 {
+		return 0
+	}
+	merged := make([]retiredBlock, 0, n+len(dst.retired))
+	i, j := 0, 0
+	for i < n && j < len(dst.retired) {
+		if src.retired[i].retire <= dst.retired[j].retire {
+			merged = append(merged, src.retired[i])
+			i++
+		} else {
+			merged = append(merged, dst.retired[j])
+			j++
+		}
+	}
+	merged = append(merged, src.retired[i:]...)
+	merged = append(merged, dst.retired[j:]...)
+	dst.retired = merged
+	src.retired = nil
+	src.unreclaimed.Store(0)
+	dst.unreclaimed.Store(int64(len(merged)))
+	return n
+}
+
+// ClearReservation withdraws tid's published reservation on its behalf —
+// EndOp executed by someone else. The epoch/interval schemes clear the
+// reservation-table entry; HP and HE override it to clear their hazard and
+// era slots instead. After the call, no retired block is pinned by tid,
+// which is what lets a quarantined staller's backlog drain without waiting
+// for the stall to end (the robustness bar of §4.3.1 turned into an
+// operation instead of an observation).
+func (b *base) ClearReservation(tid int) {
+	b.res.At(tid).Clear()
+}
+
+// Transferer is the cross-tid transfer surface, implemented by every scheme
+// via base (HP/HE override ClearReservation).
+type Transferer interface {
+	AdoptRetired(from, to int) int
+	ClearReservation(tid int)
+}
+
+// AdoptRetired invokes the scheme's retire-list adoption if it supports the
+// transfer surface (every registered scheme does), else reports 0.
+func AdoptRetired(s Scheme, from, to int) int {
+	if t, ok := s.(Transferer); ok {
+		return t.AdoptRetired(from, to)
+	}
+	return 0
+}
+
+// ClearReservation invokes the scheme's cross-tid reservation clear if it
+// supports the transfer surface.
+func ClearReservation(s Scheme, tid int) {
+	if t, ok := s.(Transferer); ok {
+		t.ClearReservation(tid)
+	}
+}

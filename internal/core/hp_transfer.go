@@ -11,3 +11,19 @@ func (s *HP) TransferSlot(tid, from, to int) {
 func (s *HE) TransferSlot(tid, from, to int) {
 	s.eras[tid][to].v.Store(s.eras[tid][from].v.Load())
 }
+
+// ClearReservation clears every hazard slot of tid — EndOp on its behalf.
+// Same caller obligations as the base version: tid's holder must be parked
+// or dead, since a cleared hazard no longer protects a dereference.
+func (s *HP) ClearReservation(tid int) {
+	for i := range s.haz[tid] {
+		s.haz[tid][i].v.Store(0)
+	}
+}
+
+// ClearReservation clears every era slot of tid on its behalf.
+func (s *HE) ClearReservation(tid int) {
+	for i := range s.eras[tid] {
+		s.eras[tid][i].v.Store(0)
+	}
+}

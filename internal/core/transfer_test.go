@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"ibr/internal/epoch"
+	"ibr/internal/mem"
+)
+
+// churnRetire allocates and immediately retires n blocks on tid, advancing
+// the clock between retirements so the retire epochs spread out.
+func churnRetire(t *testing.T, rig *testRig, tid, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		h := rig.scheme.Alloc(tid)
+		if h.IsNil() {
+			t.Fatalf("tid %d: pool exhausted after %d blocks", tid, i)
+		}
+		rig.scheme.Retire(tid, h)
+	}
+}
+
+// TestAdoptRetiredMergesByRetireEpoch: adoption must interleave the two
+// retire lists by retire epoch, because the prefix (EBR) and merge-pointer
+// (summarized) scans rely on monotone order. A naive append would place an
+// old orphaned backlog after the adopter's fresh tail and strand it.
+func TestAdoptRetiredMergesByRetireEpoch(t *testing.T) {
+	for _, name := range []string{"ebr", "tagibr", "2geibr"} {
+		t.Run(name, func(t *testing.T) {
+			rig := newRig(t, name, 3)
+			s := rig.scheme
+			// Pin everything: tid 2 publishes a reservation at the first
+			// epoch, so the churn below cannot be reclaimed by cadence scans.
+			s.StartOp(2)
+			// Interleave retirements across tids 0 and 1 (the clock advances
+			// every EpochFreq=4 allocations, so epochs genuinely interleave).
+			for round := 0; round < 8; round++ {
+				churnRetire(t, rig, 0, 3)
+				churnRetire(t, rig, 1, 3)
+			}
+			from := s.Unreclaimed(0)
+			if from == 0 {
+				t.Fatal("tid 0 retired nothing despite the pin")
+			}
+			before := s.Unreclaimed(1)
+
+			n := AdoptRetired(s, 0, 1)
+			if n != from {
+				t.Fatalf("AdoptRetired moved %d blocks, want %d", n, from)
+			}
+			if got := s.Unreclaimed(0); got != 0 {
+				t.Fatalf("source list kept %d blocks after adoption", got)
+			}
+			if got := s.Unreclaimed(1); got != before+from {
+				t.Fatalf("adopter has %d blocks, want %d", got, before+from)
+			}
+			// The merged list must be monotone in retire epoch.
+			tr, ok := s.(Transferer)
+			if !ok {
+				t.Fatal("scheme does not implement Transferer")
+			}
+			_ = tr
+			var retired []retiredBlock
+			switch v := s.(type) {
+			case *EBR:
+				retired = v.ts[1].retired
+			case *TagIBR:
+				retired = v.ts[1].retired
+			case *TwoGE:
+				retired = v.ts[1].retired
+			}
+			for i := 1; i < len(retired); i++ {
+				if retired[i-1].retire > retired[i].retire {
+					t.Fatalf("merged retire list out of order at %d: %d > %d",
+						i, retired[i-1].retire, retired[i].retire)
+				}
+			}
+			// With the pin withdrawn, one drain of the adopter must reclaim
+			// the whole merged backlog — the drains-to-zero half of the
+			// quarantine story.
+			s.EndOp(2)
+			s.Drain(1)
+			if got := s.Unreclaimed(1); got != 0 {
+				t.Fatalf("%d blocks unreclaimed after adoption + drain", got)
+			}
+		})
+	}
+}
+
+// TestClearReservationUnpins: clearing a stalled tid's reservation on its
+// behalf must let other threads' scans reclaim the backlog it pinned,
+// without that tid ever calling EndOp — drain-without-resume.
+func TestClearReservationUnpins(t *testing.T) {
+	for _, name := range []string{"ebr", "poibr", "tagibr", "tagibr-wcas", "2geibr"} {
+		t.Run(name, func(t *testing.T) {
+			rig := newRig(t, name, 2)
+			s := rig.scheme
+			s.StartOp(0) // the stalled thread: publishes and never withdraws
+			churnRetire(t, rig, 1, 64)
+			s.Drain(1)
+			if got := s.Unreclaimed(1); got == 0 {
+				t.Fatal("reservation did not pin the backlog; test is vacuous")
+			}
+			ClearReservation(s, 0)
+			if r, ok := s.(interface{ Reservations() *epoch.Table }); ok {
+				if lo := r.Reservations().At(0).Lower(); lo != epoch.None {
+					t.Fatalf("reservation lower = %d after clear, want None", lo)
+				}
+			}
+			s.Drain(1)
+			if got := s.Unreclaimed(1); got != 0 {
+				t.Fatalf("%d blocks unreclaimed after clearing the stalled reservation", got)
+			}
+		})
+	}
+}
+
+// TestClearReservationHazardSlots: the HP/HE overrides clear the per-slot
+// protections, which is their form of a published reservation.
+func TestClearReservationHazardSlots(t *testing.T) {
+	rig := newRig(t, "hp", 2)
+	s := rig.scheme.(*HP)
+	h := s.Alloc(0)
+	var p Ptr
+	s.Write(0, &p, h)
+	s.StartOp(0)
+	if got := s.Read(0, 0, &p); got.Addr() != h.Addr() {
+		t.Fatalf("Read = %v, want %v", got, h)
+	}
+	ClearReservation(rig.scheme, 0)
+	for i := range s.haz[0] {
+		if v := s.haz[0][i].v.Load(); v != 0 {
+			t.Fatalf("hazard slot %d still holds %#x after clear", i, v)
+		}
+	}
+}
+
+// TestTakeAllocFailed: a Nil return from Scheme.Alloc for exhaustion sets
+// the per-tid flag exactly once (clear-on-read), and a successful Alloc
+// resets it — the signal the serving engine turns into StatusBusy.
+func TestTakeAllocFailed(t *testing.T) {
+	pool := mem.New[tnode](mem.Options[tnode]{Threads: 1, MaxSlots: 8})
+	s, err := New("none", pool, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AllocFailed(s, 0) {
+		t.Fatal("flag set before any Alloc")
+	}
+	for i := 0; i < 8; i++ {
+		if s.Alloc(0).IsNil() {
+			t.Fatalf("pool exhausted early at %d", i)
+		}
+	}
+	if !s.Alloc(0).IsNil() {
+		t.Fatal("expected exhaustion")
+	}
+	if !AllocFailed(s, 0) {
+		t.Fatal("exhausted Alloc did not set the flag")
+	}
+	if AllocFailed(s, 0) {
+		t.Fatal("flag not cleared on read")
+	}
+}

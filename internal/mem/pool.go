@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -99,6 +100,16 @@ type Options[T any] struct {
 // DefaultMaxSlots is the default pool capacity: 1<<22 slots (4M nodes). At a
 // typical 96-byte node this is ~400 MB if fully used.
 const DefaultMaxSlots = 1 << 22
+
+// ErrPoolExhausted is the typed form of a failed Alloc: the pool (plus any
+// forced reclamation scan the caller ran) could not produce a free slot.
+// Alloc itself keeps its (Handle, bool) hot-path signature; layers that turn
+// exhaustion into an error — the serving engine's StatusBusy path, the
+// public constructors — wrap this sentinel so callers can errors.Is it.
+// Exhaustion is an overload condition, never a panic: the allocator's
+// panics are reserved for invariant violations (double free, retire of a
+// non-live slot), which indicate corruption rather than pressure.
+var ErrPoolExhausted = errors.New("mem: pool exhausted")
 
 // Pool is a slab-based manual allocator for nodes of type T. It plays the
 // role jemalloc plays in the paper's artifact: a fast, thread-cached

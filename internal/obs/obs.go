@@ -61,6 +61,11 @@ const (
 	// threshold (Tid = the stalled slot, Epoch = current epoch, Value =
 	// the reservation's stale lower endpoint).
 	KindStall
+	// KindQuarantine: the serving engine quarantined a stalled or dead tid
+	// — cleared its reservation and adopted its retire list (Tid = the
+	// quarantined tid, Epoch = current epoch, Value = blocks adopted).
+	// Written by the worker that executed the cleanup, into its own ring.
+	KindQuarantine
 )
 
 func (k Kind) String() string {
@@ -79,6 +84,8 @@ func (k Kind) String() string {
 		return "epoch_advance"
 	case KindStall:
 		return "stall"
+	case KindQuarantine:
+		return "quarantine"
 	}
 	return "unknown"
 }

@@ -2,16 +2,26 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Client is a pipelined connection to an ibrd server. It is safe for
-// concurrent use: many goroutines may call Do on one Client, requests are
-// coalesced into batched writes by a dedicated writer goroutine, and ids
-// match responses back to callers — so N concurrent callers give a natural
-// pipeline depth of N without any per-request connection state.
+// concurrent use: many goroutines may call DoContext on one Client,
+// requests are coalesced into batched writes by a dedicated writer
+// goroutine, and ids match responses back to callers — so N concurrent
+// callers give a natural pipeline depth of N without any per-request
+// connection state.
+//
+// Every blocking call takes a context. Cancellation abandons the CALL, not
+// the connection: a request already on the wire still gets its response,
+// which is discarded on arrival (the result channel is buffered, so the
+// reader never blocks on an abandoned caller), and the client stays usable.
 type Client struct {
 	conn net.Conn
 	reqs chan reqFrame
@@ -22,6 +32,8 @@ type Client struct {
 	nextID   uint32
 	err      error // first fatal error; set once, fails all later Dos
 	failOnce sync.Once
+
+	retries atomic.Uint64 // DoRetry re-submissions after StatusBusy
 }
 
 type reqFrame struct {
@@ -33,6 +45,59 @@ type reqFrame struct {
 type result struct {
 	resp Resp
 	err  error
+}
+
+// RetryPolicy shapes DoRetry's handling of StatusBusy responses — the
+// server's backpressure signal for a full shard queue, a shedding shard, or
+// an exhausted node pool. Delays grow exponentially from BaseDelay, are
+// capped at MaxDelay, and carry ±50% jitter so a fleet of clients backing
+// off from the same overloaded shard does not resynchronize into waves.
+// The zero value selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included (default 4).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first busy response
+	// (default 1ms); attempt n waits about BaseDelay<<n.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay (default 100ms).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	return p
+}
+
+// backoffDelay is attempt n's (0-based) sleep: exponential growth capped at
+// MaxDelay, then jittered to a uniform value in [exp/2, exp). rng may be
+// nil (the global source); tests pass a seeded one for determinism.
+func backoffDelay(p RetryPolicy, attempt int, rng *rand.Rand) time.Duration {
+	exp := p.BaseDelay
+	for i := 0; i < attempt && exp < p.MaxDelay; i++ {
+		exp *= 2
+	}
+	if exp > p.MaxDelay {
+		exp = p.MaxDelay
+	}
+	half := exp / 2
+	if half <= 0 {
+		return exp
+	}
+	var j int64
+	if rng != nil {
+		j = rng.Int63n(int64(half))
+	} else {
+		j = rand.Int63n(int64(half))
+	}
+	return half + time.Duration(j)
 }
 
 // Dial connects to an ibrd server.
@@ -85,7 +150,10 @@ func (c *Client) writeLoop() {
 }
 
 // readLoop dispatches responses to waiting callers by id. On any transport
-// or protocol error it fails every pending and future call.
+// or protocol error it fails every pending and future call. Responses for
+// abandoned calls (context expired after the request was sent) still have a
+// pending entry with a buffered channel, so delivery never blocks and an
+// id is recycled only after its response arrived.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
 	frame := make([]byte, respPayloadLen)
@@ -126,10 +194,16 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// Do issues one operation and blocks for its response. A non-nil error
-// means the connection is broken (no response will ever arrive); protocol
-// outcomes like StatusNotFound are returned in Resp, not as errors.
-func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
+// DoContext issues one operation and blocks for its response or the
+// context's end, whichever comes first. A non-nil error is either the
+// context's (the call was abandoned; the connection is fine and the client
+// remains usable) or a transport error (the connection is broken and every
+// future call fails the same way). Protocol outcomes like StatusNotFound
+// are returned in Resp, not as errors.
+func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, error) {
+	if err := ctx.Err(); err != nil {
+		return Resp{}, err
+	}
 	ch := make(chan result, 1)
 	c.pmu.Lock()
 	if c.err != nil {
@@ -158,14 +232,83 @@ func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
 	case <-c.done:
 		// The client failed while we were enqueueing; fail() has already
 		// delivered the error to ch (we registered before selecting).
+	case <-ctx.Done():
+		// Nothing went on the wire. If the entry is still ours, withdraw it
+		// and the id is free for reuse; if it is already gone, fail() raced
+		// us and a result is (or is about to be) in ch — consume it so the
+		// call reports the more specific outcome.
+		c.pmu.Lock()
+		_, mine := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if mine {
+			return Resp{}, ctx.Err()
+		}
+		r := <-ch
+		return r.resp, r.err
 	}
-	r := <-ch
-	return r.resp, r.err
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The request is on the wire and its response WILL arrive carrying
+		// this id, so the pending entry must stay: readLoop uses it to
+		// recognize the id and discards the result into the buffered
+		// channel. Deleting it here would make the response "unknown" and
+		// kill the whole connection.
+		return Resp{}, ctx.Err()
+	}
 }
 
-// Ping round-trips a no-op frame.
-func (c *Client) Ping() error {
-	r, err := c.Do(OpPing, 0, 42)
+// Do issues one operation with no deadline.
+//
+// Deprecated: use DoContext, which bounds the wait and keeps the client
+// usable when a caller gives up.
+func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
+	return c.DoContext(context.Background(), op, key, val)
+}
+
+// DoRetry issues one operation, retrying StatusBusy responses — queue-full,
+// shedding, and pool-exhaustion backpressure — under p with jittered
+// exponential backoff until the context ends or attempts run out. On
+// exhaustion it returns the last busy Resp and an error wrapping ErrBusy,
+// so callers distinguish "the server kept refusing" (errors.Is ErrBusy)
+// from a broken connection. Other statuses and transport errors return
+// immediately, unretried.
+func (c *Client) DoRetry(ctx context.Context, op Op, key, val uint64, p RetryPolicy) (Resp, error) {
+	p = p.withDefaults()
+	var resp Resp
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, err = c.DoContext(ctx, op, key, val)
+		if err != nil {
+			return resp, err
+		}
+		if resp.Status != StatusBusy {
+			return resp, nil
+		}
+		if attempt == p.MaxAttempts-1 {
+			return resp, fmt.Errorf("server: %d attempts exhausted: %w", p.MaxAttempts, ErrBusy)
+		}
+		t := time.NewTimer(backoffDelay(p, attempt, nil))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return resp, ctx.Err()
+		}
+		c.retries.Add(1)
+	}
+}
+
+// Retries returns how many re-submissions DoRetry has made after busy
+// responses over the client's lifetime — the load generator's retry-rate
+// counter.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// PingContext round-trips a no-op frame under ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	r, err := c.DoContext(ctx, OpPing, 0, 42)
 	if err != nil {
 		return err
 	}
@@ -175,9 +318,40 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Close tears the connection down; in-flight Dos fail.
+// Ping round-trips a no-op frame with no deadline.
+//
+// Deprecated: use PingContext.
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// Close tears the connection down immediately; in-flight calls fail with an
+// error wrapping ErrClosed.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	c.fail(fmt.Errorf("server: client closed"))
-	return err
+	// fail() first: it wins the first-error slot, so in-flight calls see
+	// ErrClosed instead of the readLoop's "use of closed connection".
+	c.fail(fmt.Errorf("server: client closed: %w", ErrClosed))
+	return c.conn.Close()
+}
+
+// CloseContext waits for every in-flight call to complete — the graceful
+// counterpart to Close — then tears the connection down. If ctx ends
+// first, it closes immediately (failing the stragglers) and returns the
+// context's error.
+func (c *Client) CloseContext(ctx context.Context) error {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		c.pmu.Lock()
+		n := len(c.pending)
+		broken := c.err != nil
+		c.pmu.Unlock()
+		if n == 0 || broken {
+			return c.Close()
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			c.Close()
+			return ctx.Err()
+		}
+	}
 }

@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,8 +15,10 @@ import (
 	"ibr/internal/obs"
 )
 
-// Errors returned by Engine.Submit. In both cases the request was NOT
-// accepted and its done callback will never run.
+// Errors returned by Engine.Submit. In every case the request was NOT
+// accepted and its done callback will never run. All three are distinct
+// sentinels (errors.Is-comparable) so callers can tell transient overload
+// (ErrBusy, ErrShedding — retry with backoff) from shutdown (ErrClosed).
 var (
 	errClosed = errors.New("server: engine is draining")
 	errBusy   = errors.New("server: shard queue full")
@@ -23,6 +27,27 @@ var (
 	ErrClosed = errClosed
 	// ErrBusy is returned by Submit when the target shard's queue is full.
 	ErrBusy = errBusy
+	// ErrShedding is returned by Submit while the target shard's unreclaimed
+	// backlog sits above its hard watermark: the shard refuses new work until
+	// reclamation catches up, instead of letting a stalled reservation grow
+	// the heap without bound. The wire layer reports it as StatusBusy, so
+	// clients treat it exactly like queue backpressure.
+	ErrShedding = errors.New("server: shard shedding load (unreclaimed backlog above hard watermark)")
+)
+
+// Control ops are engine-internal requests the remediator enqueues on shard
+// queues so that scheme maintenance always runs on a worker, under a worker's
+// leased tid. They sit far above the wire op range and never carry a done
+// callback.
+const (
+	opCtlBase Op = 0xF0
+	// opCtlDrain: scan the executing worker's retire list now (soft
+	// watermark crossed). Also serves as a queue wake-up so idle workers
+	// notice drainGen.
+	opCtlDrain Op = 0xF0
+	// opCtlQuarantine: clean up the quarantined tid in key — clear its
+	// reservation, adopt its retire list, return its lease to the free pool.
+	opCtlQuarantine Op = 0xF1
 )
 
 // EngineConfig sizes the sharded engine. The zero value of every field
@@ -37,7 +62,7 @@ type EngineConfig struct {
 	// scheme instance, and worker pool, so shards never contend.
 	Shards int
 	// WorkersPerShard is the number of tid-leased worker goroutines per
-	// shard (default 2); it is also the scheme's Options.Threads.
+	// shard (default 2).
 	WorkersPerShard int
 	// QueueDepth bounds each shard's request backlog (default 4096);
 	// beyond it Submit returns ErrBusy.
@@ -57,13 +82,38 @@ type EngineConfig struct {
 	Obs *obs.Options
 
 	// Stalled injects the paper's preempted thread (§4.3.1) into the live
-	// engine: each shard gets this many extra scheme tids whose goroutines
-	// repeatedly publish a reservation, park for StallFor (default 2s), and
-	// withdraw it. They serve no requests — they exist to pin reclamation so
-	// the lag telemetry (epoch lag, unreclaimed growth, stall alerts) can be
-	// watched against a known cause.
+	// engine: each shard runs this many staller goroutines that lease a tid,
+	// publish a reservation, park for StallFor (default 2s), and withdraw
+	// it. They serve no requests — they exist to pin reclamation so the lag
+	// telemetry and the quarantine remediation can be exercised against a
+	// known cause.
 	Stalled  int
 	StallFor time.Duration
+
+	// SoftWatermark and HardWatermark are fractions of the shard pool's slot
+	// capacity (defaults 0.5 and 0.85). Above soft, the remediator forces
+	// retire-list scans on the shard's workers every tick. Above hard, the
+	// shard sheds: Submit returns ErrShedding until the backlog falls back
+	// below 90% of the hard cap.
+	SoftWatermark, HardWatermark float64
+	// QuarantineAfter is how long a leased tid's holder may stay parked with
+	// an unchanged heartbeat before the remediator quarantines the tid —
+	// revokes the lease, clears its reservation, and adopts its retire list
+	// (default 1s). Dead holders (worker panics) are quarantined on the next
+	// tick regardless.
+	QuarantineAfter time.Duration
+	// RemedyInterval is the remediator poll period (default 50ms).
+	RemedyInterval time.Duration
+	// SpareTids is how many extra scheme tids each shard keeps unleased
+	// (default 2). A quarantine consumes the stalled tid until its cleanup
+	// runs; spares are what let a replacement worker or staller start
+	// immediately instead of waiting for that cleanup.
+	SpareTids int
+
+	// testExecHook, when set, runs at the top of every data-path exec with
+	// the request's op and key. Tests use it to inject faults (panics,
+	// delays) inside a worker; it is deliberately unexported.
+	testExecHook func(op Op, key uint64)
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -88,6 +138,21 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.StallFor <= 0 {
 		c.StallFor = 2 * time.Second
 	}
+	if c.SoftWatermark == 0 {
+		c.SoftWatermark = 0.5
+	}
+	if c.HardWatermark == 0 {
+		c.HardWatermark = 0.85
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = time.Second
+	}
+	if c.RemedyInterval <= 0 {
+		c.RemedyInterval = 50 * time.Millisecond
+	}
+	if c.SpareTids <= 0 {
+		c.SpareTids = 2
+	}
 	return c
 }
 
@@ -99,7 +164,8 @@ type Resp struct {
 
 // request is one queued operation. done is invoked exactly once, on the
 // shard worker that executed the request; it must not block (connection
-// handlers guarantee buffer space via their in-flight cap).
+// handlers guarantee buffer space via their in-flight cap). Control
+// requests (op >= opCtlBase) carry a nil done.
 type request struct {
 	op       Op
 	key, val uint64
@@ -107,46 +173,76 @@ type request struct {
 }
 
 // shard is one slice of the key space: a private structure + scheme +
-// worker pool. Workers are the only goroutines that ever touch m, each
-// under its leased tid, so the scheme's "one goroutine per tid" contract
-// holds no matter how many connections the server carries.
+// lease table + worker pool. Lease-holding goroutines are the only ones
+// that ever touch m, each under its leased tid, so the scheme's "one
+// goroutine per tid" contract holds no matter how many connections the
+// server carries — and survives workers dying and being replaced.
 type shard struct {
-	m    ds.Map
-	inst ds.Instrumented
-	q    *reqQueue
-	ops  atomic.Uint64
+	idx    int
+	m      ds.Map
+	inst   ds.Instrumented
+	q      *reqQueue
+	leases *leaseTable
+	ops    atomic.Uint64
+
+	// Admission control: softCap/hardCap are the watermark fractions applied
+	// to the shard pool's slot capacity; resumeCap is the hysteresis floor
+	// (90% of hard) below which shedding ends.
+	softCap, hardCap, resumeCap int
+	shedding                    atomic.Bool
+	// drainGen forces retire-list scans: the remediator bumps it when the
+	// soft watermark is crossed, and every worker drains once per batch in
+	// which it observes a new value.
+	drainGen atomic.Uint64
+
+	// Degradation counters (Stats / /metrics).
+	quarantines   atomic.Uint64 // tids quarantined (ibr_tid_quarantines_total)
+	adopted       atomic.Uint64 // retired blocks adopted from quarantined tids
+	shed          atomic.Uint64 // Submits refused with ErrShedding
+	shedEpisodes  atomic.Uint64 // shedding activations
+	poolExhausted atomic.Uint64 // Puts answered StatusBusy for pool exhaustion
+	deaths        atomic.Uint64 // worker goroutines lost to panics
 }
 
 // Engine is the sharded KV engine behind the server.
 type Engine struct {
-	cfg       EngineConfig
-	shards    []*shard
-	obs       *EngineObs // nil when cfg.Obs is nil
-	wg        sync.WaitGroup
-	stallStop chan struct{} // nil unless cfg.Stalled > 0
-	stallWG   sync.WaitGroup
-	closeOnce sync.Once
+	cfg        EngineConfig
+	shards     []*shard
+	tids       int        // scheme tids per shard: workers + stallers + spares
+	obs        *EngineObs // nil when cfg.Obs is nil
+	wg         sync.WaitGroup
+	stallStop  chan struct{} // nil unless cfg.Stalled > 0
+	stallWG    sync.WaitGroup
+	remedyStop chan struct{}
+	remedyDone chan struct{}
+	closeOnce  sync.Once
 }
 
-// NewEngine builds the shards and starts every worker. The workers idle on
-// their queues until Submit feeds them; Close stops them.
+// NewEngine builds the shards and starts every worker, staller, and the
+// remediator. The workers idle on their queues until Submit feeds them;
+// Close stops them.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if !ds.SchemeSupports(cfg.Scheme, cfg.Structure) {
 		return nil, fmt.Errorf("server: scheme %q cannot run structure %q", cfg.Scheme, cfg.Structure)
 	}
+	if cfg.SoftWatermark <= 0 || cfg.SoftWatermark >= cfg.HardWatermark || cfg.HardWatermark > 1 {
+		return nil, fmt.Errorf("server: watermarks must satisfy 0 < soft < hard <= 1, got soft=%v hard=%v",
+			cfg.SoftWatermark, cfg.HardWatermark)
+	}
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
-	// Stalled reservation holders are extra tids beyond the workers, so the
-	// scheme (and the observer's ring layout) is sized for both.
-	tids := cfg.WorkersPerShard + cfg.Stalled
+	// The scheme (and the observer's ring layout) is sized for every tid a
+	// shard can ever lease: workers, injected stallers, and the spares that
+	// replacement workers draw from after a quarantine.
+	e.tids = cfg.WorkersPerShard + cfg.Stalled + cfg.SpareTids
 	if cfg.Obs != nil {
-		e.obs = newEngineObs(*cfg.Obs, cfg.Shards, tids)
+		e.obs = newEngineObs(*cfg.Obs, cfg.Shards, e.tids)
 	}
 	for i := range e.shards {
 		m, err := ds.NewMap(cfg.Structure, ds.Config{
 			Scheme: cfg.Scheme,
 			Core: core.Options{
-				Threads:   tids,
+				Threads:   e.tids,
 				EpochFreq: cfg.EpochFreq,
 				EmptyFreq: cfg.EmptyFreq,
 				Slots:     cfg.Slots,
@@ -158,13 +254,37 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.shards[i] = &shard{m: m, inst: m.(ds.Instrumented), q: newReqQueue(cfg.QueueDepth)}
+		sh := &shard{
+			idx:    i,
+			m:      m,
+			inst:   m.(ds.Instrumented),
+			q:      newReqQueue(cfg.QueueDepth),
+			leases: newLeaseTable(e.tids),
+		}
+		cap := sh.inst.PoolStats().Capacity
+		sh.softCap = int(float64(cap) * cfg.SoftWatermark)
+		sh.hardCap = int(float64(cap) * cfg.HardWatermark)
+		sh.resumeCap = sh.hardCap * 9 / 10
+		if sh.softCap < 1 {
+			sh.softCap = 1
+		}
+		if sh.hardCap <= sh.softCap {
+			sh.hardCap = sh.softCap + 1
+		}
+		if sh.resumeCap < sh.softCap {
+			sh.resumeCap = sh.softCap
+		}
+		e.shards[i] = sh
 	}
 	e.obs.startWatchdog(e)
 	for _, sh := range e.shards {
-		for tid := 0; tid < cfg.WorkersPerShard; tid++ {
+		for i := 0; i < cfg.WorkersPerShard; i++ {
+			tid, gen, ok := sh.leases.acquire(roleWorker)
+			if !ok { // cannot happen: table was sized for the workers
+				return nil, fmt.Errorf("server: shard %d lease table exhausted at startup", sh.idx)
+			}
 			e.wg.Add(1)
-			go e.worker(sh, tid)
+			go e.worker(sh, tid, gen)
 		}
 	}
 	if cfg.Stalled > 0 {
@@ -172,30 +292,159 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		for _, sh := range e.shards {
 			for j := 0; j < cfg.Stalled; j++ {
 				e.stallWG.Add(1)
-				go e.staller(sh.inst.Scheme(), cfg.WorkersPerShard+j)
+				go e.staller(sh)
 			}
 		}
 	}
+	e.remedyStop = make(chan struct{})
+	e.remedyDone = make(chan struct{})
+	go e.remediator()
 	return e, nil
 }
 
-// staller owns one injected-stall tid: publish a reservation, park for
-// StallFor, withdraw, repeat. Exactly the harness's stalled worker, running
-// against the serving engine.
-func (e *Engine) staller(s core.Scheme, tid int) {
+// staller is one injected-stall goroutine: lease a tid, publish a
+// reservation, park for StallFor, withdraw, repeat. Exactly the harness's
+// stalled worker, running against the serving engine — but under the lease
+// protocol: it declares itself parked before blocking (it holds no node
+// references, so clearing its reservation on its behalf is safe), and on
+// waking it re-checks the lease. If the remediator quarantined the tid
+// while it slept, it walks away without touching the scheme and leases a
+// fresh tid for the next stall cycle.
+func (e *Engine) staller(sh *shard) {
 	defer e.stallWG.Done()
+	s := sh.inst.Scheme()
 	for {
-		s.StartOp(tid)
-		stop := false
+		tid, gen, ok := sh.leases.acquire(roleStaller)
+		if !ok {
+			// Every tid is leased or awaiting cleanup; retry shortly.
+			select {
+			case <-e.stallStop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+		}
+		for {
+			//ibrlint:ignore quarantine: if the lease is revoked while parked, EndOp is the remediator's job (ClearReservation), not ours
+			s.StartOp(tid)
+			sh.leases.setParked(tid, gen, true)
+			stop := false
+			select {
+			case <-e.stallStop:
+				stop = true
+			case <-time.After(e.cfg.StallFor):
+			}
+			if sh.leases.unpark(tid, gen) {
+				s.EndOp(tid)
+				if stop {
+					sh.leases.release(tid, gen)
+					return
+				}
+				continue
+			}
+			// Quarantined while parked: the reservation is no longer ours
+			// to withdraw. Abandon the tid.
+			if stop {
+				return
+			}
+			break
+		}
+	}
+}
+
+// remediator is the engine's degradation-policy loop. Every RemedyInterval
+// it, per shard: (1) applies the admission watermarks to the unreclaimed
+// backlog — forcing scans above soft, shedding above hard; (2) scans the
+// lease table for holders that are dead, or parked past QuarantineAfter
+// with an unchanged heartbeat, and quarantines their tids (cleanup runs on
+// a worker via a control op); (3) spawns replacement workers for
+// quarantined worker tids so the shard keeps serving at full width.
+func (e *Engine) remediator() {
+	defer close(e.remedyDone)
+	ticker := time.NewTicker(e.cfg.RemedyInterval)
+	defer ticker.Stop()
+	// Per-shard, per-tid staleness tracking: a park observation only ages
+	// while the heartbeat stays put.
+	type track struct {
+		beat     uint64
+		since    time.Time
+		tracking bool
+	}
+	states := make([][]track, len(e.shards))
+	snaps := make([][]leaseInfo, len(e.shards))
+	deficit := make([]int, len(e.shards))
+	for i := range states {
+		states[i] = make([]track, e.tids)
+	}
+	for {
 		select {
-		case <-e.stallStop:
-			stop = true
-		case <-time.After(e.cfg.StallFor):
-		}
-		s.EndOp(tid)
-		if stop {
+		case <-e.remedyStop:
 			return
+		case <-ticker.C:
 		}
+		now := time.Now()
+		for si, sh := range e.shards {
+			s := sh.inst.Scheme()
+
+			un := core.TotalUnreclaimed(s, e.tids)
+			if un >= sh.hardCap {
+				if sh.shedding.CompareAndSwap(false, true) {
+					sh.shedEpisodes.Add(1)
+				}
+			} else if sh.shedding.Load() && un < sh.resumeCap {
+				sh.shedding.Store(false)
+			}
+			if un >= sh.softCap {
+				sh.drainGen.Add(1)
+				sh.q.pushControl(request{op: opCtlDrain})
+			}
+
+			snaps[si] = sh.leases.snapshot(snaps[si])
+			for tid, info := range snaps[si] {
+				tr := &states[si][tid]
+				switch {
+				case info.status == leaseHeld && info.dead:
+					e.tryQuarantine(sh, tid, info.role, &deficit[si])
+					tr.tracking = false
+				case info.status == leaseHeld && info.parked:
+					if !tr.tracking || tr.beat != info.beat {
+						*tr = track{beat: info.beat, since: now, tracking: true}
+					} else if now.Sub(tr.since) >= e.cfg.QuarantineAfter {
+						e.tryQuarantine(sh, tid, info.role, &deficit[si])
+						tr.tracking = false
+					}
+				default:
+					tr.tracking = false
+				}
+			}
+
+			// Replacements are spawned here — never from the cleanup op —
+			// so a shard whose every worker died still recovers: the new
+			// worker is what will execute the pending quarantine cleanups.
+			for deficit[si] > 0 {
+				tid, gen, ok := sh.leases.acquire(roleWorker)
+				if !ok {
+					break // no free tid until a cleanup completes; retry next tick
+				}
+				e.wg.Add(1)
+				go e.worker(sh, tid, gen)
+				deficit[si]--
+			}
+		}
+	}
+}
+
+// tryQuarantine revokes tid's lease if the holder is still verifiably out
+// of the scheme, then enqueues the cleanup control op. Worker tids add to
+// the shard's replacement deficit.
+func (e *Engine) tryQuarantine(sh *shard, tid int, role leaseRole, deficit *int) {
+	if !sh.leases.quarantine(tid) {
+		return
+	}
+	sh.quarantines.Add(1)
+	sh.q.pushControl(request{op: opCtlQuarantine, key: uint64(tid)})
+	if role == roleWorker {
+		*deficit++
 	}
 }
 
@@ -217,13 +466,17 @@ func shardFor(key uint64, n int) int {
 
 // Submit enqueues one operation on its key's shard. If it returns nil,
 // done will be called exactly once (on a shard worker); if it returns
-// ErrClosed or ErrBusy, the operation was rejected and done is never
-// called. done must not block.
+// ErrClosed, ErrBusy, or ErrShedding, the operation was rejected and done
+// is never called. done must not block.
 func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
 	if !op.valid() {
 		return fmt.Errorf("server: invalid op %d", op)
 	}
 	sh := e.shards[shardFor(key, len(e.shards))]
+	if sh.shedding.Load() {
+		sh.shed.Add(1)
+		return ErrShedding
+	}
 	return sh.q.push(request{op: op, key: key, val: val, done: done})
 }
 
@@ -242,20 +495,58 @@ func (e *Engine) Do(op Op, key, val uint64) (Resp, error) {
 // next pop starts from a fresh, demand-sized allocation.
 const maxSpillCap = 256
 
-// worker is one leased executor: it owns scheme tid `tid` of sh's scheme
-// for its whole lifetime and is, with its sibling workers, the only
-// goroutine that ever calls into sh.m. It drains the shard queue in
-// batches until the queue is closed and empty.
-func (e *Engine) worker(sh *shard, tid int) {
+// worker is one leased executor: it owns scheme tid `tid` (generation gen)
+// of sh's scheme until it exits or its lease is revoked, and is — with its
+// sibling lease holders — the only goroutine that ever calls into sh.m. It
+// drains the shard queue in batches until the queue is closed and empty.
+//
+// A panic anywhere in the serving path does not take the shard down: the
+// worker marks its lease dead (the remediator quarantines the tid, adopts
+// its retire backlog, and spawns a replacement), answers its unfinished
+// batch with StatusInternal so no client blocks, and exits.
+func (e *Engine) worker(sh *shard, tid int, gen uint64) {
 	defer e.wg.Done()
-	var spill []request
-	for {
-		batch, ok := sh.q.popAll(spill)
-		if !ok {
+	var (
+		batch []request
+		cur   int
+	)
+	defer func() {
+		p := recover()
+		if p == nil {
 			return
 		}
-		for i := range batch {
-			r := &batch[i]
+		sh.deaths.Add(1)
+		sh.leases.markDead(tid, gen)
+		fmt.Fprintf(os.Stderr, "server: shard %d worker tid %d died: %v\n%s", sh.idx, tid, p, debug.Stack())
+		for ; cur < len(batch); cur++ {
+			if r := &batch[cur]; r.done != nil {
+				r.done(Resp{Status: StatusInternal})
+			}
+		}
+	}()
+	var spill []request
+	lastDrain := sh.drainGen.Load()
+	for {
+		var ok bool
+		batch, ok = sh.q.popAll(spill)
+		if !ok {
+			sh.leases.release(tid, gen)
+			return
+		}
+		// Heartbeat: the remediator reads this to tell a busy worker from a
+		// wedged one before trusting the parked flag.
+		sh.leases.beat(tid)
+		if g := sh.drainGen.Load(); g != lastDrain {
+			lastDrain = g
+			sh.inst.Scheme().Drain(tid)
+		}
+		for cur = 0; cur < len(batch); cur++ {
+			r := &batch[cur]
+			if r.op >= opCtlBase {
+				e.execCtl(sh, tid, r)
+				batch[cur] = request{}
+				continue
+			}
 			var resp Resp
 			if eo := e.obs; eo != nil {
 				if li := latIndex(r.op); li >= 0 {
@@ -270,7 +561,7 @@ func (e *Engine) worker(sh *shard, tid int) {
 			}
 			sh.ops.Add(1)
 			r.done(resp)
-			batch[i] = request{} // release the done closure promptly
+			batch[cur] = request{} // release the done closure promptly
 		}
 		spill = trimSpill(batch)
 	}
@@ -287,6 +578,9 @@ func trimSpill(batch []request) []request {
 
 // exec runs one request under the worker's leased tid.
 func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
+	if h := e.cfg.testExecHook; h != nil {
+		h(r.op, r.key)
+	}
 	switch r.op {
 	case OpPing:
 		return Resp{Status: StatusOK, Val: r.val}
@@ -305,6 +599,13 @@ func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
 		if sh.m.Insert(tid, r.key, r.val) {
 			return Resp{Status: StatusOK, Val: r.val}
 		}
+		// A failed insert is ambiguous: the key may exist, or the node
+		// allocation may have failed on an exhausted pool. The scheme
+		// records which; exhaustion is overload, not a data answer.
+		if core.AllocFailed(sh.inst.Scheme(), tid) {
+			sh.poolExhausted.Add(1)
+			return Resp{Status: StatusBusy}
+		}
 		return Resp{Status: StatusExists}
 	case OpDel:
 		if r.key >= ds.KeyLimit {
@@ -318,15 +619,56 @@ func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
 	return Resp{Status: StatusBadRequest}
 }
 
+// execCtl runs one control request under the worker's leased tid. The
+// quarantine cleanup lives here — on a worker, not on the remediator — so
+// the adopting tid is owned by the executing goroutine and the scheme's
+// one-goroutine-per-tid contract holds throughout.
+func (e *Engine) execCtl(sh *shard, tid int, r *request) {
+	s := sh.inst.Scheme()
+	switch r.op {
+	case opCtlDrain:
+		s.Drain(tid)
+	case opCtlQuarantine:
+		qt := int(r.key)
+		// Re-verify under the lease lock: a concurrent cleanup of the same
+		// tid (duplicate control op) or Close may have resolved it already.
+		if !sh.leases.cleanable(qt) {
+			return
+		}
+		// Safe: the lease table proved qt's holder parked (holding no node
+		// references) or dead before revoking the lease, and revocation
+		// means the holder will never act under qt again.
+		//ibrlint:ignore quarantine: holder verified parked or dead via lease table before revocation
+		core.ClearReservation(s, qt)
+		//ibrlint:ignore quarantine: qt is revoked and this worker owns tid, the adopting side
+		n := core.AdoptRetired(s, qt, tid)
+		sh.adopted.Add(uint64(n))
+		sh.leases.finishQuarantine(qt)
+		// The adopted backlog was pinned by qt's own reservation; with that
+		// cleared, one scan usually returns it to the pool wholesale.
+		s.Drain(tid)
+		var ep uint64
+		if c, ok := s.(interface{ Clock() *epoch.Clock }); ok {
+			ep = c.Clock().Now()
+		}
+		e.obs.quarantineEvent(sh.idx, tid, qt, ep, uint64(n))
+	}
+}
+
 // Close drains the engine: new Submits fail with ErrClosed, every already
-// accepted request is executed and completed, the workers exit, and each
-// shard's retire lists are scanned one last time at quiescence. It is
-// idempotent and safe to call concurrently with Submit.
+// accepted request is executed and completed, the remediator, stallers and
+// workers exit, and each shard's retire lists are scanned one last time at
+// quiescence. It is idempotent and safe to call concurrently with Submit.
 func (e *Engine) Close() {
 	// sync.Once blocks concurrent callers until the drain completes, so
 	// every Close returns only once the engine is fully quiescent.
 	e.closeOnce.Do(func() {
-		// Withdraw injected stalls first so the final scans can reclaim.
+		// The remediator stops first: it is the only goroutine that spawns
+		// workers, so after remedyDone the worker set can only shrink and
+		// wg.Wait below cannot race a spawn.
+		close(e.remedyStop)
+		<-e.remedyDone
+		// Withdraw injected stalls next so the final scans can reclaim.
 		if e.stallStop != nil {
 			close(e.stallStop)
 			e.stallWG.Wait()
@@ -336,7 +678,23 @@ func (e *Engine) Close() {
 		}
 		e.wg.Wait()
 		for _, sh := range e.shards {
-			core.DrainAll(sh.inst.Scheme(), e.cfg.WorkersPerShard)
+			// Quarantines whose cleanup op never ran (queue closed under
+			// them, or every worker died) are resolved here, at quiescence:
+			// no goroutine acts under any tid anymore, so the transfer
+			// preconditions hold trivially.
+			s := sh.inst.Scheme()
+			for tid := 0; tid < e.tids; tid++ {
+				if !sh.leases.cleanable(tid) {
+					continue
+				}
+				//ibrlint:ignore quarantine: engine is quiescent, no goroutine owns any tid
+				core.ClearReservation(s, tid)
+				//ibrlint:ignore quarantine: engine is quiescent, no goroutine owns any tid
+				n := core.AdoptRetired(s, tid, 0)
+				sh.adopted.Add(uint64(n))
+				sh.leases.finishQuarantine(tid)
+			}
+			core.DrainAll(s, e.tids)
 		}
 		e.obs.stop()
 	})
@@ -355,6 +713,15 @@ type ShardStats struct {
 	// how often workers scanned their retire lists, how many blocks those
 	// scans examined, and how many they freed.
 	Scan core.ScanStats
+
+	// Degradation policy: quarantine and admission-control activity.
+	Quarantines   uint64 // tids quarantined (stalled or dead holders)
+	Adopted       uint64 // retired blocks adopted from quarantined tids
+	Shed          uint64 // Submits refused while above the hard watermark
+	ShedEpisodes  uint64 // times shedding switched on
+	PoolExhausted uint64 // Puts answered StatusBusy on pool exhaustion
+	Deaths        uint64 // worker goroutines lost to panics
+	Shedding      bool   // currently above the hard watermark
 }
 
 // Stats snapshots every shard. Safe to call concurrently with serving.
@@ -362,10 +729,17 @@ func (e *Engine) Stats() []ShardStats {
 	out := make([]ShardStats, len(e.shards))
 	for i, sh := range e.shards {
 		st := ShardStats{
-			Ops:         sh.ops.Load(),
-			QueueDepth:  sh.q.depth(),
-			Unreclaimed: core.TotalUnreclaimed(sh.inst.Scheme(), e.cfg.WorkersPerShard),
-			Live:        sh.inst.PoolStats().Live(),
+			Ops:           sh.ops.Load(),
+			QueueDepth:    sh.q.depth(),
+			Unreclaimed:   core.TotalUnreclaimed(sh.inst.Scheme(), e.tids),
+			Live:          sh.inst.PoolStats().Live(),
+			Quarantines:   sh.quarantines.Load(),
+			Adopted:       sh.adopted.Load(),
+			Shed:          sh.shed.Load(),
+			ShedEpisodes:  sh.shedEpisodes.Load(),
+			PoolExhausted: sh.poolExhausted.Load(),
+			Deaths:        sh.deaths.Load(),
+			Shedding:      sh.shedding.Load(),
 		}
 		s := sh.inst.Scheme()
 		if sc, ok := s.(interface{ ScanStats() core.ScanStats }); ok {

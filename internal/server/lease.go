@@ -1,0 +1,215 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// leaseRole says what kind of goroutine holds a tid.
+type leaseRole uint8
+
+const (
+	roleWorker  leaseRole = iota // serves requests off the shard queue
+	roleStaller                  // injected stall (pins a reservation, serves nothing)
+)
+
+// leaseStatus is a tid's position in the lease lifecycle.
+type leaseStatus uint8
+
+const (
+	// leaseFree: no goroutine owns the tid; its reservation is withdrawn
+	// and its retire list empty or adoptable by whoever leases it next.
+	leaseFree leaseStatus = iota
+	// leaseHeld: one goroutine owns the tid and is the only one allowed to
+	// run scheme operations under it.
+	leaseHeld
+	// leaseQuarantined: the remediator revoked the lease. The former holder
+	// must no longer act under the tid; a worker-executed control op will
+	// clear its reservation, adopt its retire list, and return it to free.
+	leaseQuarantined
+)
+
+// lease tracks one scheme tid of one shard. All fields except beat are
+// guarded by the owning leaseTable's mutex; beat is written lock-free by the
+// holder (once per executed batch) and read by the remediator, so a stalled
+// holder is distinguishable from a merely busy one.
+type lease struct {
+	role   leaseRole
+	status leaseStatus
+	// gen increments each time the tid is re-leased. Holders carry the gen
+	// they acquired and present it on every state change, so a goroutine
+	// whose lease was revoked (and possibly re-issued) cannot mutate the
+	// successor's lease — the ABA guard of the quarantine protocol.
+	gen uint64
+	// parked is set by a staller right before it blocks and means "this
+	// holder has no node references and will re-check its lease before
+	// touching the scheme again" — the evidence that makes clearing its
+	// reservation safe.
+	parked bool
+	// dead is set when a worker goroutine exits via panic; its tid can be
+	// quarantined immediately.
+	dead bool
+	beat atomic.Uint64
+}
+
+// leaseTable owns every scheme tid of one shard. Workers and stallers
+// acquire tids from it instead of being handed fixed indices, which is what
+// lets the remediator revoke a stalled tid and hand a fresh one to a
+// replacement goroutine while the scheme (sized for all tids up front)
+// stays untouched.
+type leaseTable struct {
+	mu     sync.Mutex
+	leases []lease
+	free   []int // LIFO of leaseFree tids
+}
+
+func newLeaseTable(tids int) *leaseTable {
+	t := &leaseTable{leases: make([]lease, tids), free: make([]int, 0, tids)}
+	// Hand out low tids first: workers land on 0..W-1 as before, spares sit
+	// at the top until a quarantine consumes one.
+	for tid := tids - 1; tid >= 0; tid-- {
+		t.free = append(t.free, tid)
+	}
+	return t
+}
+
+// acquire leases a free tid to a new holder. ok is false when none is free
+// (all tids held or awaiting quarantine cleanup); callers retry later.
+func (t *leaseTable) acquire(role leaseRole) (tid int, gen uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.free) == 0 {
+		return 0, 0, false
+	}
+	tid = t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	l := &t.leases[tid]
+	l.role = role
+	l.status = leaseHeld
+	l.parked = false
+	l.dead = false
+	return tid, l.gen, true
+}
+
+// beat is the holder's heartbeat: bumped once per executed batch, lock-free.
+// A reservation held across many ticks with no beat movement is stalled, not
+// busy.
+func (t *leaseTable) beat(tid int) { t.leases[tid].beat.Add(1) }
+
+// setParked publishes that tid's holder is about to block holding no node
+// references. Must be called by the holder before parking.
+func (t *leaseTable) setParked(tid int, gen uint64, parked bool) {
+	t.mu.Lock()
+	l := &t.leases[tid]
+	if l.status == leaseHeld && l.gen == gen {
+		l.parked = parked
+	}
+	t.mu.Unlock()
+}
+
+// unpark is the staller's wake-up check: it reports whether the lease is
+// still held by this holder. true — the holder still owns the tid and must
+// EndOp as usual. false — the lease was revoked while parked; the holder
+// must walk away without touching the scheme (the quarantine already
+// withdrew its reservation, and the tid may already belong to someone else).
+func (t *leaseTable) unpark(tid int, gen uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &t.leases[tid]
+	if l.status == leaseHeld && l.gen == gen {
+		l.parked = false
+		return true
+	}
+	return false
+}
+
+// markDead records that tid's holder goroutine exited without releasing the
+// lease (worker panic). The tid becomes immediately quarantinable.
+func (t *leaseTable) markDead(tid int, gen uint64) {
+	t.mu.Lock()
+	l := &t.leases[tid]
+	if l.status == leaseHeld && l.gen == gen {
+		l.dead = true
+	}
+	t.mu.Unlock()
+}
+
+// release returns a held tid to the free list on clean shutdown paths.
+func (t *leaseTable) release(tid int, gen uint64) {
+	t.mu.Lock()
+	l := &t.leases[tid]
+	if l.status == leaseHeld && l.gen == gen {
+		l.status = leaseFree
+		l.gen++
+		l.parked = false
+		l.dead = false
+		t.free = append(t.free, tid)
+	}
+	t.mu.Unlock()
+}
+
+// quarantine revokes tid's lease if its holder is verifiably out of the
+// scheme: parked (stallers publish this before blocking) or dead. It
+// reports whether the revocation happened; after true, the former holder's
+// unpark/setParked/markDead calls all become no-ops (gen mismatch is not
+// even needed — status left leaseHeld), and a ctlQuarantine op must run on
+// a live worker to clean the tid up.
+func (t *leaseTable) quarantine(tid int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &t.leases[tid]
+	if l.status != leaseHeld || !(l.parked || l.dead) {
+		return false
+	}
+	l.status = leaseQuarantined
+	return true
+}
+
+// cleanable re-verifies, from the worker about to execute the cleanup, that
+// tid is still quarantined (Close or a concurrent cleanup may have won).
+func (t *leaseTable) cleanable(tid int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leases[tid].status == leaseQuarantined
+}
+
+// finishQuarantine returns a cleaned tid to the free list with a new gen.
+func (t *leaseTable) finishQuarantine(tid int) {
+	t.mu.Lock()
+	l := &t.leases[tid]
+	if l.status == leaseQuarantined {
+		l.status = leaseFree
+		l.gen++
+		l.parked = false
+		l.dead = false
+		t.free = append(t.free, tid)
+	}
+	t.mu.Unlock()
+}
+
+// leaseInfo is the remediator's per-tick view of one lease.
+type leaseInfo struct {
+	status leaseStatus
+	role   leaseRole
+	parked bool
+	dead   bool
+	beat   uint64
+}
+
+// snapshot copies the table for the remediator's staleness scan.
+func (t *leaseTable) snapshot(out []leaseInfo) []leaseInfo {
+	t.mu.Lock()
+	out = out[:0]
+	for i := range t.leases {
+		l := &t.leases[i]
+		out = append(out, leaseInfo{
+			status: l.status,
+			role:   l.role,
+			parked: l.parked,
+			dead:   l.dead,
+			beat:   l.beat.Load(),
+		})
+	}
+	t.mu.Unlock()
+	return out
+}

@@ -19,6 +19,13 @@ type statsSnapshot struct {
 	ScanExamined    uint64       `json:"scan_examined"`
 	ScanFreed       uint64       `json:"scan_freed"`
 	ScanMeanLen     float64      `json:"scan_examined_mean"`
+	Quarantines     uint64       `json:"tid_quarantines"`
+	Adopted         uint64       `json:"blocks_adopted"`
+	Shed            uint64       `json:"submits_shed"`
+	ShedEpisodes    uint64       `json:"shed_episodes"`
+	PoolExhausted   uint64       `json:"pool_exhausted"`
+	Deaths          uint64       `json:"worker_deaths"`
+	SheddingShards  int          `json:"shedding_shards"`
 	PerShard        []shardStats `json:"per_shard"`
 }
 
@@ -32,6 +39,8 @@ type shardStats struct {
 	Scans        uint64 `json:"scans"`
 	ScanExamined uint64 `json:"scan_examined"`
 	ScanFreed    uint64 `json:"scan_freed"`
+	Quarantines  uint64 `json:"tid_quarantines"`
+	Shedding     bool   `json:"shedding"`
 }
 
 // snapshot builds the exported view from a live Stats() pass.
@@ -55,10 +64,20 @@ func (e *Engine) snapshot() statsSnapshot {
 		if s.EpochLag > out.MaxEpochLag {
 			out.MaxEpochLag = s.EpochLag
 		}
+		out.Quarantines += s.Quarantines
+		out.Adopted += s.Adopted
+		out.Shed += s.Shed
+		out.ShedEpisodes += s.ShedEpisodes
+		out.PoolExhausted += s.PoolExhausted
+		out.Deaths += s.Deaths
+		if s.Shedding {
+			out.SheddingShards++
+		}
 		out.PerShard[i] = shardStats{
 			Ops: s.Ops, QueueDepth: s.QueueDepth, Unreclaimed: s.Unreclaimed,
 			Epoch: s.Epoch, EpochLag: s.EpochLag, Live: s.Live,
 			Scans: s.Scan.Scans, ScanExamined: s.Scan.Scanned, ScanFreed: s.Scan.Freed,
+			Quarantines: s.Quarantines, Shedding: s.Shedding,
 		}
 	}
 	if out.Scans > 0 {

@@ -39,14 +39,15 @@ func latIndex(op Op) int {
 // EngineConfig.Obs is set; all methods are safe on a nil receiver, so the
 // serving path carries at most one pointer test when observability is off.
 type EngineObs struct {
-	opts      obs.Options
-	rec       *obs.Recorder
-	scheme    []*obs.SchemeObs // per shard
-	retireAge []*obs.Hist      // per shard
-	scanDur   *obs.Hist
-	freeBatch *obs.Hist
-	opLat     [latKinds]*obs.Hist
-	watchdog  *obs.Watchdog
+	opts         obs.Options
+	rec          *obs.Recorder
+	tidsPerShard int              // ring-index stride: shard i, tid t → ring i*tidsPerShard+t
+	scheme       []*obs.SchemeObs // per shard
+	retireAge    []*obs.Hist      // per shard
+	scanDur      *obs.Hist
+	freeBatch    *obs.Hist
+	opLat        [latKinds]*obs.Hist
+	watchdog     *obs.Watchdog
 }
 
 // newEngineObs sizes the recorder for shards×workers scheme rings plus one
@@ -55,12 +56,13 @@ type EngineObs struct {
 func newEngineObs(o obs.Options, shards, workers int) *EngineObs {
 	o = o.WithDefaults()
 	eo := &EngineObs{
-		opts:      o,
-		rec:       obs.NewRecorder(shards*workers+1, o.RingSize),
-		scheme:    make([]*obs.SchemeObs, shards),
-		retireAge: make([]*obs.Hist, shards),
-		scanDur:   &obs.Hist{},
-		freeBatch: &obs.Hist{},
+		opts:         o,
+		rec:          obs.NewRecorder(shards*workers+1, o.RingSize),
+		tidsPerShard: workers,
+		scheme:       make([]*obs.SchemeObs, shards),
+		retireAge:    make([]*obs.Hist, shards),
+		scanDur:      &obs.Hist{},
+		freeBatch:    &obs.Hist{},
 	}
 	for i := range eo.opLat {
 		eo.opLat[i] = &obs.Hist{}
@@ -125,6 +127,16 @@ func (eo *EngineObs) startWatchdog(e *Engine) {
 	}
 	eo.watchdog = obs.NewWatchdog(sources, eo.opts.StallThreshold, eo.opts.WatchInterval, eo.rec, eo.rec.Rings()-1)
 	eo.watchdog.Start()
+}
+
+// quarantineEvent records a tid quarantine into the executing worker's own
+// ring — the recorder is single-writer per ring, and the worker running the
+// cleanup control op already owns ring shard*tidsPerShard+workerTid.
+func (eo *EngineObs) quarantineEvent(shard, workerTid, quarantinedTid int, epoch, adopted uint64) {
+	if eo == nil {
+		return
+	}
+	eo.rec.Record(shard*eo.tidsPerShard+workerTid, obs.KindQuarantine, quarantinedTid, epoch, adopted)
 }
 
 // stop halts the watchdog (the recorder and histograms are passive).

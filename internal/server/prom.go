@@ -66,6 +66,39 @@ func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
 		p.Uint("ibr_scan_freed_total", shardLabel[i], s.Scan.Freed)
 	}
 
+	p.Header("ibr_tid_quarantines_total", "counter", "Tids quarantined per shard (stalled or dead lease holders whose reservation was cleared and retire list adopted).")
+	for i, s := range stats {
+		p.Uint("ibr_tid_quarantines_total", shardLabel[i], s.Quarantines)
+	}
+	p.Header("ibr_blocks_adopted_total", "counter", "Retired blocks adopted from quarantined tids per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_blocks_adopted_total", shardLabel[i], s.Adopted)
+	}
+	p.Header("ibr_submits_shed_total", "counter", "Submits refused with ErrShedding per shard (unreclaimed backlog above the hard watermark).")
+	for i, s := range stats {
+		p.Uint("ibr_submits_shed_total", shardLabel[i], s.Shed)
+	}
+	p.Header("ibr_shed_episodes_total", "counter", "Times shedding switched on per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_shed_episodes_total", shardLabel[i], s.ShedEpisodes)
+	}
+	p.Header("ibr_shedding", "gauge", "Whether the shard is currently shedding load (1) or admitting (0).")
+	for i, s := range stats {
+		v := uint64(0)
+		if s.Shedding {
+			v = 1
+		}
+		p.Uint("ibr_shedding", shardLabel[i], v)
+	}
+	p.Header("ibr_pool_exhausted_total", "counter", "Puts answered StatusBusy because the shard node pool was exhausted, per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_pool_exhausted_total", shardLabel[i], s.PoolExhausted)
+	}
+	p.Header("ibr_worker_deaths_total", "counter", "Worker goroutines lost to panics per shard (each is quarantined and replaced).")
+	for i, s := range stats {
+		p.Uint("ibr_worker_deaths_total", shardLabel[i], s.Deaths)
+	}
+
 	p.Header("ibr_pool_cache_hits_total", "counter", "Thread-cache Alloc hits per shard pool.")
 	p.Header("ibr_pool_cache_misses_total", "counter", "Thread-cache Alloc misses per shard pool.")
 	p.Header("ibr_pool_global_refills_total", "counter", "Cache refills served by the global free list per shard pool.")

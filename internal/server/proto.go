@@ -69,6 +69,10 @@ const (
 	StatusShutdown
 	// StatusBadRequest: the request frame was malformed.
 	StatusBadRequest
+	// StatusInternal: the worker executing the request died (panic); the
+	// operation's effect is unknown. The shard itself keeps serving — a
+	// replacement worker takes over the tid's duties.
+	StatusInternal
 )
 
 func (s Status) String() string {
@@ -85,6 +89,8 @@ func (s Status) String() string {
 		return "SHUTDOWN"
 	case StatusBadRequest:
 		return "BAD_REQUEST"
+	case StatusInternal:
+		return "INTERNAL"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

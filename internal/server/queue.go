@@ -47,6 +47,22 @@ func (q *reqQueue) push(r request) error {
 	return nil
 }
 
+// pushControl enqueues an engine-internal control request, bypassing the
+// capacity bound: remediation must be admittable precisely when the queue
+// is saturated. It reports false only after close, when control work is
+// pointless (Close resolves outstanding quarantines itself at quiescence).
+func (q *reqQueue) pushControl(r request) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, r)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return true
+}
+
 // popAll blocks until the queue is non-empty or closed, then returns the
 // whole backlog. spill is the caller's previous batch, recycled as the new
 // backing buffer. ok is false only when the queue is closed AND empty —

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// startFakeServer runs a minimal wire-protocol peer whose responses are
+// scripted by handle — the way to force statuses (busy, slow) that a real
+// engine only produces under contrived load.
+func startFakeServer(t *testing.T, handle func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				buf := make([]byte, reqPayloadLen)
+				for {
+					p, err := readFrame(br, reqPayloadLen, buf)
+					if err != nil {
+						return
+					}
+					id, op, key, val := parseRequest(p)
+					st, v, delay := handle(id, op, key, val)
+					if delay > 0 {
+						time.Sleep(delay)
+					}
+					if _, err := c.Write(appendResponse(nil, id, st, v)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestBackoffDelayBounds: attempt n's delay is uniform in [exp/2, exp) for
+// exp = min(Base<<n, Max) — exponential, capped, never zero, never above
+// the cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for attempt := 0; attempt < 12; attempt++ {
+			exp := p.BaseDelay << attempt
+			if exp > p.MaxDelay {
+				exp = p.MaxDelay
+			}
+			d := backoffDelay(p, attempt, rng)
+			if d < exp/2 || d >= exp {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v)", seed, attempt, d, exp/2, exp)
+			}
+		}
+	}
+}
+
+// TestDoRetryExhaustion: a server that never stops answering BUSY makes
+// DoRetry spend its attempts, sleep between them, count the retries, and
+// return an error wrapping ErrBusy alongside the last busy Resp.
+func TestDoRetryExhaustion(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		return StatusBusy, 0, 0
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	resp, err := cl.DoRetry(context.Background(), OpPut, 1, 2, p)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("DoRetry error = %v, want errors.Is ErrBusy", err)
+	}
+	if resp.Status != StatusBusy {
+		t.Fatalf("DoRetry resp = %v, want the last busy response", resp)
+	}
+	if got := cl.Retries(); got != uint64(p.MaxAttempts-1) {
+		t.Fatalf("Retries() = %d, want %d", got, p.MaxAttempts-1)
+	}
+}
+
+// TestDoRetryEventualSuccess: busy responses stop after two tries; the
+// third succeeds with no error.
+func TestDoRetryEventualSuccess(t *testing.T) {
+	var calls int
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		calls++
+		if calls <= 2 {
+			return StatusBusy, 0, 0
+		}
+		return StatusOK, val, 0
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.DoRetry(context.Background(), OpPut, 1, 7,
+		RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if err != nil || resp.Status != StatusOK || resp.Val != 7 {
+		t.Fatalf("DoRetry = %v, %v; want OK/7", resp, err)
+	}
+}
+
+// TestDoContextPreCancelled: an already-dead context never touches the wire.
+func TestDoContextPreCancelled(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		t.Error("request reached the server despite a cancelled context")
+		return StatusOK, 0, 0
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.DoContext(ctx, OpGet, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoContextAbandonInFlight: a deadline that expires while the request
+// is on the wire abandons the call — and ONLY the call. The late response
+// is absorbed when it arrives and the same client keeps working, which is
+// the whole point of keeping the pending entry alive.
+func TestDoContextAbandonInFlight(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		if op == OpGet {
+			return StatusOK, 9, 150 * time.Millisecond // slow: outlives the deadline
+		}
+		return StatusOK, val, 0
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := cl.DoContext(ctx, OpGet, 1, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoContext = %v, want context.DeadlineExceeded", err)
+	}
+	// The abandoned response lands mid-flight; the client must survive it
+	// and keep serving new calls on the same connection.
+	if err := cl.PingContext(context.Background()); err != nil {
+		t.Fatalf("client unusable after abandoned call: %v", err)
+	}
+}
+
+// TestCloseWrapsErrClosed: calls failed by Close report an error callers
+// can match with errors.Is(err, ErrClosed).
+func TestCloseWrapsErrClosed(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		return StatusOK, val, time.Second // park the call until Close
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.Do(OpGet, 1, 0)
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the call get on the wire
+	cl.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("in-flight Do after Close = %v, want errors.Is ErrClosed", err)
+	}
+}
+
+// TestCloseContextGraceful: CloseContext waits out in-flight calls instead
+// of failing them.
+func TestCloseContextGraceful(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+		return StatusOK, val, 50 * time.Millisecond
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.Do(OpPut, 1, 5)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := cl.CloseContext(context.Background()); err != nil {
+		t.Fatalf("CloseContext: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("in-flight Do during graceful close: %v", err)
+	}
+}

@@ -257,6 +257,9 @@ func (s *Server) handle(c net.Conn) {
 			continue
 		}
 		if err := s.eng.Submit(op, key, val, done); err != nil {
+			// ErrBusy (queue full) and ErrShedding (unreclaimed backlog
+			// above the hard watermark) are both transient overload: the
+			// client sees StatusBusy and retries with backoff.
 			st := StatusBusy
 			if errors.Is(err, ErrClosed) {
 				st = StatusShutdown

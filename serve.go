@@ -1,0 +1,98 @@
+package ibr
+
+import (
+	"ibr/internal/mem"
+	"ibr/internal/obs"
+	"ibr/internal/server"
+)
+
+// This file is the public face of the serving layer: the sharded engine,
+// the TCP server, and the pipelined context-aware client, re-exported so
+// applications embed the KV service without importing internal packages.
+// cmd/ibrd and cmd/ibrload are thin wrappers over exactly this surface.
+
+// Engine is the sharded KV engine (see internal/server): tid-leased
+// workers over per-shard IBR structures, with stall quarantine and
+// watermark admission control built in.
+type Engine = server.Engine
+
+// EngineConfig sizes an Engine; the zero value of every field selects a
+// sensible default.
+type EngineConfig = server.EngineConfig
+
+// Server is the TCP front end over an Engine.
+type Server = server.Server
+
+// ServerConfig tunes the connection front end.
+type ServerConfig = server.ServerConfig
+
+// Client is a pipelined, context-aware connection to a served Engine.
+type Client = server.Client
+
+// RetryPolicy shapes Client.DoRetry's jittered exponential backoff on
+// StatusBusy responses.
+type RetryPolicy = server.RetryPolicy
+
+// Op is a wire operation code; Status a wire response code; Resp one
+// operation's engine-level result.
+type (
+	Op     = server.Op
+	Status = server.Status
+	Resp   = server.Resp
+)
+
+// ObsOptions tunes the engine's observability layer (EngineConfig.Obs).
+type ObsOptions = obs.Options
+
+// SchemeObs is a per-structure scheme observer (Config.Obs); build one
+// with NewSchemeObs when embedding the library without the engine.
+type SchemeObs = obs.SchemeObs
+
+// SchemeObsConfig configures NewSchemeObs.
+type SchemeObsConfig = obs.SchemeObsConfig
+
+// NewSchemeObs builds a scheme observer for Config.Obs.
+func NewSchemeObs(cfg SchemeObsConfig) *SchemeObs { return obs.NewSchemeObs(cfg) }
+
+// Wire operation and status codes, re-exported verbatim.
+const (
+	OpPing = server.OpPing
+	OpGet  = server.OpGet
+	OpPut  = server.OpPut
+	OpDel  = server.OpDel
+
+	StatusOK         = server.StatusOK
+	StatusNotFound   = server.StatusNotFound
+	StatusExists     = server.StatusExists
+	StatusBusy       = server.StatusBusy
+	StatusShutdown   = server.StatusShutdown
+	StatusBadRequest = server.StatusBadRequest
+	StatusInternal   = server.StatusInternal
+)
+
+// Typed sentinels, all errors.Is-comparable:
+//
+//   - ErrBusy: a shard queue was full, or a DoRetry ran out of attempts
+//     against busy responses — transient overload, retry with backoff.
+//   - ErrShedding: a shard is refusing work while its unreclaimed backlog
+//     sits above the hard watermark; also transient, but caused by
+//     reclamation lag rather than request volume.
+//   - ErrClosed: the engine (or client) is shut down — permanent.
+//   - ErrPoolExhausted: a node pool ran out of slots; the serving path
+//     converts it to StatusBusy instead of failing.
+var (
+	ErrBusy          = server.ErrBusy
+	ErrShedding      = server.ErrShedding
+	ErrClosed        = server.ErrClosed
+	ErrPoolExhausted = mem.ErrPoolExhausted
+)
+
+// NewEngine builds the shards and starts the workers, stallers, and the
+// remediation loop.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return server.NewEngine(cfg) }
+
+// NewServer wraps an Engine in the TCP front end.
+func NewServer(e *Engine, cfg ServerConfig) *Server { return server.NewServer(e, cfg) }
+
+// DialServer connects a Client to a served Engine.
+func DialServer(addr string) (*Client, error) { return server.Dial(addr) }
