@@ -42,13 +42,17 @@ bench:
 # Scan-efficiency snapshot: short write-heavy and read-heavy cells, one JSON
 # line each in BENCH_scan.json (ops/s + scan stats; see cmd/ibrbench -json).
 # The fourth cell repeats the first with the observability hooks live, so the
-# recording overhead is priced in the same file it can be diffed from.
+# recording overhead is priced in the same file it can be diffed from. The
+# last two cells are the post-paper engines (hyaline, debra) on the write
+# path — the head-to-head EXPERIMENTS.md reads from this file.
 benchscan:
 	rm -f BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m write -i 1 -json BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=ebr -t 4 -m write -i 1 -json BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m read -i 1 -json BENCH_scan.json
 	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=tagibr -t 4 -m write -i 1 -obs -json BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=hyaline -t 4 -m write -i 1 -json BENCH_scan.json
+	$(GO) run ./cmd/ibrbench -r hashmap -d tracker=debra -t 4 -m write -i 1 -json BENCH_scan.json
 	@cat BENCH_scan.json
 
 # Regenerate every figure's data (CSV + ASCII tables + stall curves)…
@@ -92,7 +96,7 @@ obssmoke:
 	awk -F' ' '/^ibr_retire_age_count/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/obssmoke_metrics.txt; \
 	echo "obssmoke: key series present and non-empty"; exit $$rc
 
-# Degradation smoke, two legs (see DESIGN.md §7).
+# Degradation smoke, three legs (see DESIGN.md §7–§8).
 # Leg 1: EBR with injected stallers pinning reservations for 3s and a 300ms
 # quarantine threshold — assert tids actually get quarantined mid-stall
 # (metrics scrape + exit summary) and SIGTERM still drains to 0 blocks
@@ -100,6 +104,9 @@ obssmoke:
 # Leg 2: the leak scheme on a tiny pool — exhaustion must surface as BUSY
 # (typed backpressure the retrying client absorbs; ibrload exits 0), with
 # ibr_pool_exhausted_total counting it and no shard panic.
+# Leg 3: leg 1 under debra — the quarantine is a real DEBRA+ neutralization
+# (reservation cleared, neutralize flag latched, bags adopted) and the
+# stalled backlog must still drain to 0 without the staller resuming.
 chaossmoke:
 	$(GO) build -o bin/ibrd ./cmd/ibrd
 	$(GO) build -o bin/ibrload ./cmd/ibrload
@@ -124,6 +131,18 @@ chaossmoke:
 	test $$rc -eq 0 && \
 	awk '/^ibr_pool_exhausted_total/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/chaossmoke_metrics2.txt && \
 	echo "chaossmoke leg 2: pool exhaustion absorbed as BUSY, load exited clean"
+	@./bin/ibrd -addr 127.0.0.1:4320 -http 127.0.0.1:4321 -r hashmap -d debra \
+	  -shards 2 -workers 2 -stalled 2 -stallfor 3s \
+	  -quarantine-after 300ms -remedy-interval 25ms > /tmp/chaossmoke_ibrd3.txt & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4320 -c 4 -p 4 -i 3 & load=$$!; \
+	sleep 2; curl -sf http://127.0.0.1:4321/metrics > /tmp/chaossmoke_metrics3.txt; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	test $$rc -eq 0 && \
+	awk '/^ibr_tid_quarantines_total/ { sum += $$2 } END { exit sum > 0 ? 0 : 1 }' /tmp/chaossmoke_metrics3.txt && \
+	grep -q 'degradation: .* tid quarantines' /tmp/chaossmoke_ibrd3.txt && \
+	grep -q ' 0 blocks unreclaimed after final scan' /tmp/chaossmoke_ibrd3.txt && \
+	echo "chaossmoke leg 3: debra staller neutralized mid-stall, backlog drained to 0"
 
 examples:
 	$(GO) run ./examples/quickstart

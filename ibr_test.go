@@ -26,8 +26,9 @@ func TestFacadeNewMapAllStructures(t *testing.T) {
 
 func TestFacadeSchemeList(t *testing.T) {
 	schemes := Schemes()
-	if len(schemes) != 10 {
-		t.Fatalf("Schemes() has %d entries, want 10", len(schemes))
+	// 9 paper schemes + "none" + the two post-paper engines (hyaline, debra).
+	if len(schemes) != 12 {
+		t.Fatalf("Schemes() has %d entries, want 12", len(schemes))
 	}
 	for _, s := range schemes {
 		if s == "" {

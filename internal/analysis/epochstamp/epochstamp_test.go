@@ -5,6 +5,7 @@ import (
 
 	"ibr/internal/analysis/checktest"
 	"ibr/internal/analysis/epochstamp"
+	"ibr/internal/analysis/retirefree"
 )
 
 func TestInCoreFlagged(t *testing.T) {
@@ -17,4 +18,13 @@ func TestInCoreClean(t *testing.T) {
 
 func TestRawAllocOutsideCore(t *testing.T) {
 	checktest.Run(t, "stampraw/internal/ds", epochstamp.Analyzer)
+}
+
+// TestHandoffSchemeIdioms covers the idioms hyaline and debra added to the
+// core: a documented plain alloc (no birth stamp) is accepted, an
+// undocumented one is still flagged, and refcount-driven batch frees fall
+// under the substrate exemption. Run with retirefree too so every
+// expectation in the golden package is owned by an analyzer in the run.
+func TestHandoffSchemeIdioms(t *testing.T) {
+	checktest.Run(t, "handoff/internal/core", epochstamp.Analyzer, retirefree.Analyzer)
 }

@@ -1,0 +1,60 @@
+// Package core exercises the idioms the post-paper engines (hyaline,
+// debra) introduced into the reclamation core: birth-stamp-free allocation
+// behind a documented //ibrlint:ignore directive, and handoff frees driven
+// by a batch reference count instead of a reservation scan. epochstamp must
+// accept the documented plain alloc but still flag an undocumented one;
+// retirefree must accept the refcount-driven FreeBatch under the in-core
+// substrate exemption.
+package core
+
+import "stub/internal/mem"
+
+// batch is a hyaline-style batch descriptor: a shared reference count over
+// a group of retired blocks, freed by whoever drops the last reference.
+type batch struct {
+	refs   int64
+	blocks []mem.Handle
+}
+
+type handoff struct {
+	pool  *mem.Pool
+	epoch uint64
+}
+
+// allocPlain is the debra/hyaline alloc: no birth stamp, documented.
+//
+//ibrlint:ignore handoff schemes never read birth epochs; the retire stamp is their only interval data
+func (s *handoff) allocPlain(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	return h
+}
+
+// allocLoud has no directive: an in-core allocation escaping unstamped must
+// stay a finding even inside a handoff scheme's file.
+func (s *handoff) allocLoud(tid int) mem.Handle {
+	h, ok := s.pool.Alloc(tid)
+	if !ok {
+		return mem.Nil
+	}
+	return h // want "allocated handle escapes before SetBirth"
+}
+
+// dropRef is the hyaline leave: decrement the batch's reference count and
+// free the whole batch at zero. internal/core frees what it has proven
+// unreachable, so retirefree reports nothing here.
+func (s *handoff) dropRef(tid int, b *batch) {
+	b.refs--
+	if b.refs == 0 {
+		s.pool.FreeBatch(tid, b.blocks)
+	}
+}
+
+// neutralizeAndFree is the debra quarantine tail: after the victim's
+// reservation is cleared, its expired limbo bags free as one prefix batch —
+// also covered by the substrate exemption.
+func (s *handoff) neutralizeAndFree(tid int, bags []mem.Handle) {
+	s.pool.FreeBatch(tid, bags)
+}

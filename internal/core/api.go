@@ -2,7 +2,9 @@
 // "Interval-Based Memory Reclamation" (Wen et al., PPoPP 2018): the paper's
 // three IBR algorithms (POIBR, TagIBR with its FAA/WCAS/TPA variants, and
 // 2GEIBR) plus the comparison schemes (NoMM, EBR, hazard pointers, hazard
-// eras). All schemes implement the shared API of Fig. 1 of the paper.
+// eras), and two post-paper engines: Hyaline's per-batch reference counting
+// (hyaline.go) and a DEBRA+-style neutralization EBR (debra.go). All schemes
+// implement the shared API of Fig. 1 of the paper.
 //
 // A scheme mediates every access to shared pointers (Ptr cells) of a data
 // structure whose nodes live in a mem.Pool. Threads are identified by small
@@ -345,9 +347,10 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 	return h
 }
 
-// allocPlain allocates without epoch stamping (EBR, HP, NoMM).
+// allocPlain allocates without epoch stamping (EBR, DEBRA, Hyaline, HP,
+// NoMM).
 //
-//ibrlint:ignore non-interval schemes: EBR, HP and NoMM never read birth epochs, so stamping is dead work
+//ibrlint:ignore non-interval schemes: EBR, DEBRA, Hyaline, HP and NoMM never read birth epochs, so stamping is dead work (DEBRA and Hyaline stamp only retire epochs, in retire)
 func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
 	ts := &b.ts[tid]
 	ts.allocFailed = false
@@ -703,45 +706,64 @@ func canonicalName(name string) string {
 	return name
 }
 
+// schemeEntry couples one registry name with its constructor. The registry
+// table below is the single source of truth behind New, Names, Schemes and
+// IsScheme, so registering a scheme in one place registers it everywhere —
+// the previous hand-duplicated Names/Schemes lists could silently disagree.
+type schemeEntry struct {
+	name string
+	ctor func(Memory, Options) Scheme
+}
+
+// registry lists every scheme in the order the paper's plots use (NoMM
+// first, then the baselines, then the IBR family), followed by the
+// post-paper engines (Hyaline, neutralization EBR).
+var registry = []schemeEntry{
+	{"none", func(m Memory, o Options) Scheme { return NewNoMM(m, o) }},
+	{"ebr", func(m Memory, o Options) Scheme { return NewEBR(m, o) }},
+	{"hp", func(m Memory, o Options) Scheme { return NewHP(m, o) }},
+	{"he", func(m Memory, o Options) Scheme { return NewHE(m, o) }},
+	{"poibr", func(m Memory, o Options) Scheme { return NewPOIBR(m, o) }},
+	{"tagibr", func(m Memory, o Options) Scheme { return NewTagIBR(m, o, TagCAS) }},
+	{"tagibr-faa", func(m Memory, o Options) Scheme { return NewTagIBR(m, o, TagFAA) }},
+	{"tagibr-wcas", func(m Memory, o Options) Scheme { return NewTagIBR(m, o, TagWCAS) }},
+	{"tagibr-tpa", func(m Memory, o Options) Scheme { return NewTagIBR(m, o, TagTPA) }},
+	{"2geibr", func(m Memory, o Options) Scheme { return NewTwoGE(m, o) }},
+	{"hyaline", func(m Memory, o Options) Scheme { return NewHyaline(m, o) }},
+	{"debra", func(m Memory, o Options) Scheme { return NewDEBRA(m, o) }},
+}
+
 // New constructs a scheme by registry name over the given Memory.
 // Names: "none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa",
-// "tagibr-wcas", "tagibr-tpa", "2geibr" (aliases: "nomm", "epoch", "2ge").
+// "tagibr-wcas", "tagibr-tpa", "2geibr", "hyaline", "debra"
+// (aliases: "nomm", "epoch", "2ge").
 func New(name string, m Memory, o Options) (Scheme, error) {
-	switch canonicalName(name) {
-	case "none":
-		return NewNoMM(m, o), nil
-	case "ebr":
-		return NewEBR(m, o), nil
-	case "hp":
-		return NewHP(m, o), nil
-	case "he":
-		return NewHE(m, o), nil
-	case "poibr":
-		return NewPOIBR(m, o), nil
-	case "tagibr":
-		return NewTagIBR(m, o, TagCAS), nil
-	case "tagibr-faa":
-		return NewTagIBR(m, o, TagFAA), nil
-	case "tagibr-wcas":
-		return NewTagIBR(m, o, TagWCAS), nil
-	case "tagibr-tpa":
-		return NewTagIBR(m, o, TagTPA), nil
-	case "2geibr":
-		return NewTwoGE(m, o), nil
+	c := canonicalName(name)
+	for _, e := range registry {
+		if e.name == c {
+			return e.ctor(m, o), nil
+		}
 	}
 	return nil, fmt.Errorf("core: unknown scheme %q", name)
 }
 
 // Names lists every registered scheme name in the order the paper's plots
-// use (NoMM first, then the baselines, then the IBR family).
+// use (NoMM first, then the baselines, then the IBR family, then the
+// post-paper engines). It is derived from the registry table, so it cannot
+// drift from New or Schemes.
 func Names() []string {
-	return []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-faa", "tagibr-wcas", "tagibr-tpa", "2geibr"}
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
 }
 
 // Schemes returns the registered scheme names sorted lexically — the form
-// command-line tools print when rejecting an unknown -d flag.
+// command-line tools print when rejecting an unknown -d flag. Same set as
+// Names, same table.
 func Schemes() []string {
-	out := append([]string(nil), Names()...)
+	out := Names()
 	sort.Strings(out)
 	return out
 }
@@ -750,8 +772,8 @@ func Schemes() []string {
 // scheme, without constructing one.
 func IsScheme(name string) bool {
 	c := canonicalName(name)
-	for _, n := range Names() {
-		if n == c {
+	for _, e := range registry {
+		if e.name == c {
 			return true
 		}
 	}

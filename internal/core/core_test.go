@@ -61,6 +61,38 @@ func TestRegistryNames(t *testing.T) {
 	}
 }
 
+// TestNamesSchemesSameSet pins the PR-6 fix: Names() (paper-plot order) and
+// Schemes() (sorted) must derive from the one registry table, so they hold
+// the identical set and registering a scheme can't silently miss one list.
+func TestNamesSchemesSameSet(t *testing.T) {
+	names, schemes := Names(), Schemes()
+	if len(names) != len(schemes) {
+		t.Fatalf("Names() has %d entries, Schemes() has %d", len(names), len(schemes))
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if set[n] {
+			t.Fatalf("Names() lists %q twice", n)
+		}
+		set[n] = true
+	}
+	for _, n := range schemes {
+		if !set[n] {
+			t.Fatalf("Schemes() has %q which Names() lacks", n)
+		}
+	}
+	for i := 1; i < len(schemes); i++ {
+		if schemes[i-1] >= schemes[i] {
+			t.Fatalf("Schemes() not sorted at %q >= %q", schemes[i-1], schemes[i])
+		}
+	}
+	for _, want := range []string{"hyaline", "debra"} {
+		if !set[want] {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+}
+
 func TestRegistryAliases(t *testing.T) {
 	pool := mem.New[tnode](mem.Options[tnode]{Threads: 1})
 	for alias, canonical := range map[string]string{
@@ -74,13 +106,20 @@ func TestRegistryAliases(t *testing.T) {
 }
 
 func TestRobustFlagsMatchFig7(t *testing.T) {
-	// Fig. 7: EBR is the only non-robust scheme in the comparison.
+	// Fig. 7: EBR is the only non-robust scheme in the paper's comparison.
+	// The post-paper engines are honest about needing external help: plain
+	// Hyaline pins batches behind a stalled slot, and DEBRA without the
+	// serving layer's neutralization watchdog is EBR.
 	want := map[string]bool{
 		"none": true, "ebr": false, "hp": true, "he": true, "poibr": true,
 		"tagibr": true, "tagibr-faa": true, "tagibr-wcas": true,
 		"tagibr-tpa": true, "2geibr": true,
+		"hyaline": false, "debra": false,
 	}
 	for _, n := range Names() {
+		if _, ok := want[n]; !ok {
+			t.Fatalf("scheme %q missing from the Fig. 7 want-map", n)
+		}
 		r := newRig(t, n, 1)
 		if r.scheme.Robust() != want[n] {
 			t.Errorf("%s.Robust() = %v, want %v", n, r.scheme.Robust(), want[n])

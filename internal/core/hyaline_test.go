@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ibr/internal/mem"
+)
+
+// hyQuiet builds a Hyaline whose cadence never fires on its own, so tests
+// seal batches explicitly via Drain.
+func hyQuiet(t *testing.T, threads int) (*mem.Pool[tnode], *Hyaline) {
+	t.Helper()
+	pool, s := quietScheme(t, "hyaline", threads)
+	return pool, s.(*Hyaline)
+}
+
+// TestHyalineBatchFreesOnLastLeave is the reference-count choreography: a
+// batch handed to three active sessions must survive the first two leaves
+// and free exactly at the third — no scan, no epoch, just the count.
+func TestHyalineBatchFreesOnLastLeave(t *testing.T) {
+	pool, s := hyQuiet(t, 4)
+	for tid := 1; tid <= 3; tid++ {
+		s.StartOp(tid)
+	}
+	const blocks = 8
+	var hs []mem.Handle
+	for i := 0; i < blocks; i++ {
+		h := s.Alloc(0)
+		if h.IsNil() {
+			t.Fatal("pool exhausted")
+		}
+		pool.Get(h).key = uint64(i)
+		hs = append(hs, h)
+		s.Retire(0, h)
+	}
+	s.Drain(0) // seal: the batch is pushed to slots 1..3, refs = 3
+	if got := s.Unreclaimed(0); got != blocks {
+		t.Fatalf("Unreclaimed(0) = %d after seal, want %d in flight", got, blocks)
+	}
+	for _, tid := range []int{2, 1} {
+		s.EndOp(tid)
+		if got := s.Unreclaimed(0); got != blocks {
+			t.Fatalf("batch freed after tid %d left with a session still active (Unreclaimed=%d)", tid, got)
+		}
+		// The blocks must still be readable by the remaining session.
+		for i, h := range hs {
+			if pool.Get(h).key != uint64(i) {
+				t.Fatalf("block %d corrupted while still referenced", i)
+			}
+		}
+	}
+	s.EndOp(3) // last reference: the whole batch frees here
+	if got := s.Unreclaimed(0); got != 0 {
+		t.Fatalf("Unreclaimed(0) = %d after the last leave, want 0", got)
+	}
+	if live := pool.Stats().Live(); live != 0 {
+		t.Fatalf("%d slots live after the last leave", live)
+	}
+}
+
+// TestHyalineQuiescentSealFreesImmediately: with no active session, sealing
+// must free the batch on the spot (the sealer holds the last "reference"
+// via the bias) — this is what makes DrainAll at quiescence complete.
+func TestHyalineQuiescentSealFreesImmediately(t *testing.T) {
+	pool, s := hyQuiet(t, 4)
+	for i := 0; i < 16; i++ {
+		h := s.Alloc(0)
+		if h.IsNil() {
+			t.Fatal("pool exhausted")
+		}
+		s.Retire(0, h)
+	}
+	s.Drain(0)
+	if got := s.Unreclaimed(0); got != 0 {
+		t.Fatalf("Unreclaimed(0) = %d after quiescent seal, want 0", got)
+	}
+	if live := pool.Stats().Live(); live != 0 {
+		t.Fatalf("%d slots live after quiescent seal", live)
+	}
+}
+
+// TestHyalineInactiveSlotTakesNoReference: a session that ends before the
+// seal must not receive the batch — only slots active at seal time hold
+// references, so a quiescent-at-seal thread can never pin anything.
+func TestHyalineInactiveSlotTakesNoReference(t *testing.T) {
+	_, s := hyQuiet(t, 3)
+	s.StartOp(1)
+	s.EndOp(1) // active once, but inactive at seal time
+	s.StartOp(2)
+	for i := 0; i < 8; i++ {
+		h := s.Alloc(0)
+		if h.IsNil() {
+			t.Fatal("pool exhausted")
+		}
+		s.Retire(0, h)
+	}
+	s.Drain(0) // only slot 2 takes a reference
+	if got := s.Unreclaimed(0); got != 8 {
+		t.Fatalf("Unreclaimed(0) = %d, want 8 in flight behind slot 2", got)
+	}
+	s.EndOp(2)
+	if got := s.Unreclaimed(0); got != 0 {
+		t.Fatalf("Unreclaimed(0) = %d after slot 2 left; slot 1's dead session pinned the batch", got)
+	}
+}
+
+// TestHyalineRestartOpDropsReferences: RestartOp is a session boundary — it
+// must release every batch handed to the session so far, exactly like the
+// interval schemes' reservation renewal bounds a starving thread.
+func TestHyalineRestartOpDropsReferences(t *testing.T) {
+	_, s := hyQuiet(t, 2)
+	s.StartOp(1)
+	for i := 0; i < 8; i++ {
+		h := s.Alloc(0)
+		if h.IsNil() {
+			t.Fatal("pool exhausted")
+		}
+		s.Retire(0, h)
+	}
+	s.Drain(0)
+	if got := s.Unreclaimed(0); got != 8 {
+		t.Fatalf("Unreclaimed(0) = %d, want 8 pinned by the active session", got)
+	}
+	s.RestartOp(1) // leave + re-enter: the old references drop
+	if got := s.Unreclaimed(0); got != 0 {
+		t.Fatalf("Unreclaimed(0) = %d after RestartOp, want 0", got)
+	}
+	s.EndOp(1)
+}
+
+// TestHyalineFreeMatchesRefCountOracle is the differential test in the
+// spirit of TestScanSummarizedMatchesNaiveFullScan: over random interleaved
+// seals and leaves, a naive oracle tracks each batch's reference set (the
+// sessions active at its seal); a batch must be freed exactly when the last
+// of those sessions has since left — never earlier, never later.
+func TestHyalineFreeMatchesRefCountOracle(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pool, s := hyQuiet(t, 5)
+		rng := rand.New(rand.NewSource(seed))
+
+		active := map[int]bool{} // sessions 1..4 currently active
+		type oracleBatch struct {
+			size int
+			held map[int]bool // sessions that must leave before it frees
+		}
+		var pending []oracleBatch
+		freedWant := 0
+		retiredTotal := 0
+
+		expectUnreclaimed := func() int {
+			n := 0
+			for _, b := range pending {
+				n += b.size
+			}
+			return n
+		}
+		dropRefs := func(tid int) {
+			kept := pending[:0]
+			for _, b := range pending {
+				delete(b.held, tid)
+				if len(b.held) == 0 {
+					freedWant += b.size
+				} else {
+					kept = append(kept, b)
+				}
+			}
+			pending = kept
+		}
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0: // toggle a session
+				tid := 1 + rng.Intn(4)
+				if active[tid] {
+					s.EndOp(tid)
+					delete(active, tid)
+					dropRefs(tid)
+				} else {
+					s.StartOp(tid)
+					active[tid] = true
+				}
+			case 1, 2: // retire a few blocks on the sealer tid
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					h := s.Alloc(0)
+					if h.IsNil() {
+						t.Fatal("pool exhausted")
+					}
+					s.Retire(0, h)
+					retiredTotal++
+				}
+			default: // seal whatever tid 0 has accumulated
+				n := len(s.ts[0].retired)
+				if n == 0 {
+					continue
+				}
+				s.Drain(0)
+				if len(active) > 0 {
+					held := make(map[int]bool, len(active))
+					for tid := range active {
+						held[tid] = true
+					}
+					pending = append(pending, oracleBatch{size: n, held: held})
+				} else {
+					freedWant += n
+				}
+			}
+			unsealed := len(s.ts[0].retired)
+			if got, want := s.Unreclaimed(0), unsealed+expectUnreclaimed(); got != want {
+				t.Fatalf("seed %d step %d: Unreclaimed(0) = %d, oracle predicts %d", seed, step, got, want)
+			}
+		}
+		// Quiesce: end every session, seal the remainder — all must free.
+		for tid := range active {
+			s.EndOp(tid)
+			dropRefs(tid)
+		}
+		s.Drain(0)
+		if got := s.Unreclaimed(0); got != 0 {
+			t.Fatalf("seed %d: %d blocks unreclaimed at quiescence", seed, got)
+		}
+		st := pool.Stats()
+		if got := st.Live(); got != 0 {
+			t.Fatalf("seed %d: %d slots live at quiescence (retired %d)", seed, got, retiredTotal)
+		}
+	}
+}
+
+// TestHyalineConcurrentHandoffRace hammers the seal/enter/leave protocol
+// under the race detector: one goroutine churns retire+seal while others
+// cycle sessions and read a shared cell, with poison catching any
+// premature free. The pool's double-free panic catches any duplicated
+// reference drop.
+func TestHyalineConcurrentHandoffRace(t *testing.T) {
+	const (
+		readers = 3
+		iters   = 4000
+	)
+	pool := mem.New[tnode](mem.Options[tnode]{
+		Threads:  readers + 1,
+		MaxSlots: 1 << 16,
+		Poison:   func(n *tnode) { n.key = math.MaxUint64 },
+	})
+	s := NewHyaline(pool, Options{Threads: readers + 1, EpochFreq: 8, EmptyFreq: 4})
+	var cell Ptr
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.StartOp(tid)
+				if h := s.Read(tid, 0, &cell); !h.IsNil() {
+					if pool.Get(h).key == math.MaxUint64 {
+						t.Errorf("tid %d read a poisoned block", tid)
+						s.EndOp(tid)
+						return
+					}
+				}
+				s.EndOp(tid)
+			}
+		}(r + 1)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const wtid = 0
+		for i := 0; i < iters; i++ {
+			s.StartOp(wtid)
+			nh := s.Alloc(wtid)
+			if nh.IsNil() {
+				s.EndOp(wtid)
+				continue
+			}
+			pool.Get(nh).key = uint64(i)
+			old := s.Read(wtid, 0, &cell)
+			if s.CompareAndSwap(wtid, &cell, old, nh) {
+				if !old.IsNil() {
+					s.Retire(wtid, old)
+				}
+			} else {
+				pool.Free(wtid, nh)
+			}
+			s.EndOp(wtid)
+		}
+	}()
+	wg.Wait()
+
+	if h := cell.Raw(); !h.IsNil() {
+		s.Write(0, &cell, mem.Nil)
+		s.Retire(0, h)
+	}
+	DrainAll(s, readers+1)
+	if got := TotalUnreclaimed(s, readers+1); got != 0 {
+		t.Fatalf("%d blocks unreclaimed after quiescent drain", got)
+	}
+	if live := pool.Stats().Live(); live != 0 {
+		t.Fatalf("%d slots leaked", live)
+	}
+}
+
+// TestHyalineExaminedPerFreedStaysNearOne pins the scheme's reason to
+// exist: reclamation by handoff examines each link and block O(1) times,
+// so examined-per-freed must stay near 1 even with cadence seals — this is
+// the acceptance bar (≤ 2× EBR) in microcosm.
+func TestHyalineExaminedPerFreedStaysNearOne(t *testing.T) {
+	pool := mem.New[tnode](mem.Options[tnode]{Threads: 2, MaxSlots: 1 << 16})
+	s := NewHyaline(pool, Options{Threads: 2, EpochFreq: 8, EmptyFreq: 8})
+	const blocks = 4096
+	for i := 0; i < blocks; i++ {
+		s.StartOp(0)
+		h := s.Alloc(0)
+		if h.IsNil() {
+			t.Fatal("pool exhausted")
+		}
+		s.Retire(0, h)
+		s.EndOp(0)
+	}
+	DrainAll(s, 2)
+	st := s.ScanStats()
+	if st.Freed != blocks {
+		t.Fatalf("freed %d, want %d", st.Freed, blocks)
+	}
+	if epf := st.ExaminedPerFreed(); epf > 2.0 {
+		t.Fatalf("examined per freed = %.2f, want ≤ 2.0 (handoff must not rescan)", epf)
+	}
+}

@@ -25,7 +25,7 @@ func churnRetire(t *testing.T, rig *testRig, tid, n int) {
 // (summarized) scans rely on monotone order. A naive append would place an
 // old orphaned backlog after the adopter's fresh tail and strand it.
 func TestAdoptRetiredMergesByRetireEpoch(t *testing.T) {
-	for _, name := range []string{"ebr", "tagibr", "2geibr"} {
+	for _, name := range []string{"ebr", "tagibr", "2geibr", "debra"} {
 		t.Run(name, func(t *testing.T) {
 			rig := newRig(t, name, 3)
 			s := rig.scheme
@@ -68,6 +68,8 @@ func TestAdoptRetiredMergesByRetireEpoch(t *testing.T) {
 				retired = v.ts[1].retired
 			case *TwoGE:
 				retired = v.ts[1].retired
+			case *DEBRA:
+				retired = v.ts[1].retired
 			}
 			for i := 1; i < len(retired); i++ {
 				if retired[i-1].retire > retired[i].retire {
@@ -87,11 +89,73 @@ func TestAdoptRetiredMergesByRetireEpoch(t *testing.T) {
 	}
 }
 
+// TestAdoptRetiredHyalineUnsealed: for Hyaline, adoption moves exactly the
+// victim's *unsealed* accumulation (its open batch) — sealed batches are
+// already handed off and free through their reference counts, so they are
+// not the adopter's to take. The merged open batch must stay in retire-epoch
+// order so the adopter's next seal produces an age-ordered batch, and a
+// quiescent drain after adoption must reclaim everything.
+func TestAdoptRetiredHyalineUnsealed(t *testing.T) {
+	rig := newRig(t, "hyaline", 3)
+	s := rig.scheme.(*Hyaline)
+	s.StartOp(2) // keep slot 2 active so sealed batches stay in flight
+	// 11 retires per tid with EmptyFreq=4: three seals (cadence), 3 blocks
+	// left unsealed on each — interleaved so the retire epochs interleave.
+	for round := 0; round < 2; round++ {
+		churnRetire(t, rig, 0, 4)
+		churnRetire(t, rig, 1, 4)
+	}
+	churnRetire(t, rig, 0, 3)
+	churnRetire(t, rig, 1, 3)
+	unsealed := len(s.ts[0].retired)
+	if unsealed == 0 {
+		t.Fatal("tid 0 has no unsealed blocks; the scenario is vacuous")
+	}
+	inflight := s.inflight[0].n.Load()
+	if inflight == 0 {
+		t.Fatal("tid 0 has no sealed batches in flight; the scenario is vacuous")
+	}
+	beforeUnsealed := len(s.ts[1].retired)
+
+	n := AdoptRetired(s, 0, 1)
+	if n != unsealed {
+		t.Fatalf("AdoptRetired moved %d blocks, want the %d unsealed", n, unsealed)
+	}
+	if got := len(s.ts[0].retired); got != 0 {
+		t.Fatalf("source kept %d unsealed blocks after adoption", got)
+	}
+	// The victim's in-flight blocks stay charged to it until their batches
+	// free — adoption must not touch the reference-counted handoff.
+	if got := s.inflight[0].n.Load(); got != inflight {
+		t.Fatalf("inflight[0] = %d after adoption, want %d untouched", got, inflight)
+	}
+	merged := s.ts[1].retired
+	if len(merged) != beforeUnsealed+unsealed {
+		t.Fatalf("adopter has %d unsealed blocks, want %d", len(merged), beforeUnsealed+unsealed)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].retire > merged[i].retire {
+			t.Fatalf("merged open batch out of order at %d: %d > %d",
+				i, merged[i-1].retire, merged[i].retire)
+		}
+	}
+	// Quiescence: slot 2 leaves (dropping the in-flight batches' references)
+	// and the adopter seals its merged batch with no slot active — everything
+	// must free.
+	s.EndOp(2)
+	s.Drain(1)
+	for tid := 0; tid < 3; tid++ {
+		if got := s.Unreclaimed(tid); got != 0 {
+			t.Fatalf("tid %d: %d blocks unreclaimed after quiescent drain", tid, got)
+		}
+	}
+}
+
 // TestClearReservationUnpins: clearing a stalled tid's reservation on its
 // behalf must let other threads' scans reclaim the backlog it pinned,
 // without that tid ever calling EndOp — drain-without-resume.
 func TestClearReservationUnpins(t *testing.T) {
-	for _, name := range []string{"ebr", "poibr", "tagibr", "tagibr-wcas", "2geibr"} {
+	for _, name := range []string{"ebr", "poibr", "tagibr", "tagibr-wcas", "2geibr", "debra", "hyaline"} {
 		t.Run(name, func(t *testing.T) {
 			rig := newRig(t, name, 2)
 			s := rig.scheme

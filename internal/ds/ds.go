@@ -127,5 +127,8 @@ func SchemeSupports(scheme, structure string) bool {
 	case "hp", "he":
 		return structure != "bonsai" && structure != "skiplist"
 	}
+	// Everything else — the epoch/interval family plus the post-paper
+	// hyaline and debra engines — protects whole operations rather than
+	// individual pointers, so any structure is legal.
 	return true
 }

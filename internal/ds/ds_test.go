@@ -64,6 +64,13 @@ func TestSchemeSupports(t *testing.T) {
 		{"hp", "nmtree", true},
 		{"ebr", "bonsai", true},
 		{"tagibr", "list", true},
+		// The post-paper engines protect whole operations (no per-pointer
+		// slots), so every structure is legal — including the ones HP/HE
+		// must skip.
+		{"hyaline", "bonsai", true},
+		{"hyaline", "skiplist", true},
+		{"debra", "bonsai", true},
+		{"debra", "skiplist", true},
 	}
 	for _, c := range cases {
 		if got := SchemeSupports(c.scheme, c.structure); got != c.want {
@@ -326,7 +333,7 @@ func TestMapConcurrentSharedKeys(t *testing.T) {
 		keys    = 16
 	)
 	for _, structure := range mapStructures {
-		for _, scheme := range []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-wcas", "2geibr"} {
+		for _, scheme := range []string{"none", "ebr", "hp", "he", "poibr", "tagibr", "tagibr-wcas", "2geibr", "hyaline", "debra"} {
 			if !SchemeSupports(scheme, structure) {
 				continue
 			}

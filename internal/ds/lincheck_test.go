@@ -23,7 +23,7 @@ func TestLinearizability(t *testing.T) {
 		rounds      = 150
 	)
 	for _, structure := range mapStructures {
-		for _, scheme := range []string{"none", "ebr", "hp", "tagibr", "tagibr-wcas", "2geibr"} {
+		for _, scheme := range []string{"none", "ebr", "hp", "tagibr", "tagibr-wcas", "2geibr", "hyaline", "debra"} {
 			if !SchemeSupports(scheme, structure) {
 				continue
 			}

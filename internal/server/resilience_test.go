@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"ibr/internal/core"
 )
 
 // waitFor polls cond every millisecond until it holds or the deadline
@@ -37,13 +39,78 @@ func unreclaimed(stats []ShardStats) int {
 }
 
 // TestQuarantineDrainsStalledBacklog is the acceptance scenario: an
-// injected staller pins a reservation for 30s (far beyond the test), churn
+// injected staller pins reclamation for 30s (far beyond the test), churn
 // builds an unreclaimed backlog behind it, and the remediator must
 // quarantine the stalled tid and drain the backlog to near-baseline well
-// within a second — WITHOUT the stall ever ending on its own.
+// within a second — WITHOUT the stall ever ending on its own. It runs
+// under both pin mechanisms: ebr (a stuck epoch reservation the clear
+// withdraws) and hyaline (a stuck active slot whose batch references the
+// clear force-drops).
 func TestQuarantineDrainsStalledBacklog(t *testing.T) {
+	for _, scheme := range []string{"ebr", "hyaline"} {
+		t.Run(scheme, func(t *testing.T) {
+			eng, err := NewEngine(EngineConfig{
+				Scheme: scheme, Shards: 1, WorkersPerShard: 1,
+				EpochFreq: 4, EmptyFreq: 4,
+				Stalled: 1, StallFor: 30 * time.Second,
+				QuarantineAfter: 50 * time.Millisecond,
+				RemedyInterval:  10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			// Give the staller time to park and publish its reservation, then
+			// churn: every Del retires a node the pin keeps unreclaimable.
+			time.Sleep(20 * time.Millisecond)
+			churn := func(rounds int) {
+				for i := 0; i < rounds; i++ {
+					k := uint64(i % 512)
+					if _, err := eng.Do(OpPut, k, k+1); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := eng.Do(OpDel, k, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			churn(2000)
+			if got := unreclaimed(eng.Stats()); got == 0 {
+				t.Fatal("stall did not pin a backlog; the scenario is vacuous")
+			}
+
+			if !waitFor(2*time.Second, func() bool {
+				return sum(eng.Stats(), func(s ShardStats) uint64 { return s.Quarantines }) > 0
+			}) {
+				t.Fatal("remediator never quarantined the stalled tid")
+			}
+			// The stall is still "running" (StallFor is 30s); only the
+			// quarantine can release the backlog. A little more traffic lets
+			// cadence scans run post-clear, and the cleanup op itself drains
+			// once.
+			start := time.Now()
+			ok := waitFor(time.Second, func() bool {
+				churn(50)
+				return unreclaimed(eng.Stats()) < 200
+			})
+			if !ok {
+				t.Fatalf("backlog stuck at %d blocks %v after quarantine; want near-baseline without waiting out the stall",
+					unreclaimed(eng.Stats()), time.Since(start))
+			}
+		})
+	}
+}
+
+// TestQuarantineNeutralizesDEBRA runs the same acceptance scenario under
+// the debra scheme, where the quarantine is not just a reservation clear
+// but a real DEBRA+ neutralization: the remediator's ClearReservation must
+// latch the staller's neutralize flag (signaled > 0) and the stalled
+// backlog must drain while the stall keeps running — the lease watchdog
+// standing in for DEBRA+'s POSIX signal.
+func TestQuarantineNeutralizesDEBRA(t *testing.T) {
 	eng, err := NewEngine(EngineConfig{
-		Scheme: "ebr", Shards: 1, WorkersPerShard: 1,
+		Scheme: "debra", Shards: 1, WorkersPerShard: 1,
 		EpochFreq: 4, EmptyFreq: 4,
 		Stalled: 1, StallFor: 30 * time.Second,
 		QuarantineAfter: 50 * time.Millisecond,
@@ -54,9 +121,7 @@ func TestQuarantineDrainsStalledBacklog(t *testing.T) {
 	}
 	defer eng.Close()
 
-	// Give the staller time to park and publish its reservation, then churn:
-	// every Del retires a node the pinned epoch keeps unreclaimable.
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // let the staller park and pin
 	churn := func(rounds int) {
 		for i := 0; i < rounds; i++ {
 			k := uint64(i % 512)
@@ -78,17 +143,20 @@ func TestQuarantineDrainsStalledBacklog(t *testing.T) {
 	}) {
 		t.Fatal("remediator never quarantined the stalled tid")
 	}
-	// The stall is still "running" (StallFor is 30s); only the quarantine
-	// can release the backlog. A little more traffic lets cadence scans run
-	// post-clear, and the cleanup op itself drains once.
-	start := time.Now()
-	ok := waitFor(time.Second, func() bool {
+	d, ok := eng.shards[0].inst.Scheme().(*core.DEBRA)
+	if !ok {
+		t.Fatalf("shard scheme is %T, want *core.DEBRA", eng.shards[0].inst.Scheme())
+	}
+	if sig, _ := d.NeutralizeStats(); sig == 0 {
+		t.Fatal("quarantine delivered no neutralization signal")
+	}
+	ok = waitFor(time.Second, func() bool {
 		churn(50)
 		return unreclaimed(eng.Stats()) < 200
 	})
 	if !ok {
-		t.Fatalf("backlog stuck at %d blocks %v after quarantine; want near-baseline without waiting out the stall",
-			unreclaimed(eng.Stats()), time.Since(start))
+		t.Fatalf("backlog stuck at %d blocks after neutralization; the stall never ended on its own",
+			unreclaimed(eng.Stats()))
 	}
 }
 
