@@ -130,22 +130,29 @@ type benchRecord struct {
 	ScanExaminedMean float64 `json:"scan_examined_mean"`
 	ScanFreed        uint64  `json:"scan_freed"`
 	ExaminedPerFreed float64 `json:"examined_per_freed"`
+	BucketSkips      uint64  `json:"bucket_skips"`
+	BucketFrees      uint64  `json:"bucket_frees"`
 	Obs              bool    `json:"obs"`
 }
 
 func appendJSON(path string, res harness.Result) error {
 	rec := benchRecord{
-		Structure:        res.Structure,
-		Scheme:           res.Scheme,
-		Threads:          res.Threads,
-		Mode:             res.Workload.String(),
-		Seconds:          res.Duration.Seconds(),
+		Structure: res.Structure,
+		Scheme:    res.Scheme,
+		Threads:   res.Threads,
+		Mode:      res.Workload.String(),
+		// Measured wall time, NOT the requested -i interval: wg.Wait() lets
+		// in-flight ops finish after the stop flag, so ops/seconds must use
+		// the same clock Mops was computed with or the two silently disagree.
+		Seconds:          res.Elapsed.Seconds(),
 		Ops:              res.Ops,
 		Mops:             res.Mops,
 		AvgRetired:       res.AvgRetired,
 		Scans:            res.Scans,
 		ScanExaminedMean: res.ScanMeanLen,
 		ScanFreed:        res.ScanFreed,
+		BucketSkips:      res.ScanBucketSkips,
+		BucketFrees:      res.ScanBucketFrees,
 		Obs:              res.Obs != nil,
 	}
 	if res.ScanFreed > 0 {

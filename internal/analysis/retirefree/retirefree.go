@@ -47,9 +47,9 @@ func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)
-		fn := ibrlint.MemCall(pass.TypesInfo, call, "Free", "FreeBatch")
+		fn := ibrlint.MemCall(pass.TypesInfo, call, "Free", "FreeBatch", "FreeBatches")
 		if fn == nil {
-			fn = ibrlint.CoreCall(pass.TypesInfo, call, "Free", "FreeBatch")
+			fn = ibrlint.CoreCall(pass.TypesInfo, call, "Free", "FreeBatch", "FreeBatches")
 		}
 		if fn != nil {
 			rep.Reportf(call.Pos(), "direct %s bypasses reclamation: detached blocks must go through Scheme.Retire (retire-before-free, paper §2.1)", fn.Name())

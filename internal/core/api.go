@@ -75,6 +75,7 @@ type Memory interface {
 	Alloc(tid int) (mem.Handle, bool)
 	Free(tid int, h mem.Handle)
 	FreeBatch(tid int, hs []mem.Handle)
+	FreeBatches(tid int, batches ...[]mem.Handle)
 	Birth(h mem.Handle) uint64
 	SetBirth(h mem.Handle, e uint64)
 	RetireEpoch(h mem.Handle) uint64
@@ -163,9 +164,18 @@ type Options struct {
 	// thread (paper §5 uses n×k total with k=150, i.e. each thread
 	// advances every 150 of its own allocations). Default 150.
 	EpochFreq int
-	// EmptyFreq: scan the retire list every EmptyFreq retirements
-	// (paper §5: k=30). Default 30.
+	// EmptyFreq: the base scan cadence (paper §5: k=30). Default 30. The
+	// scanning schemes drain adaptively: a thread scans when its unreclaimed
+	// count reaches a watermark that starts EmptyFreq above the last scan's
+	// residue and backs off (doubling, capped at 32×EmptyFreq) while scans
+	// are futile — so a backlog pinned by a stalled reservation is not
+	// rescanned every EmptyFreq retirements. Hyaline seals batches on the
+	// fixed EmptyFreq cadence (its handoff has no yield signal to adapt to).
 	EmptyFreq int
+	// BucketShift sets the birth-epoch width of a retire-list bucket to
+	// 2^BucketShift epochs. 0 selects the default (5, i.e. 32 epochs);
+	// negative values select one epoch per bucket (tests).
+	BucketShift int
 	// Slots is the number of protection slots per thread for HP/HE.
 	// Default 8 (enough for every structure here except the Bonsai tree,
 	// which pointer-based schemes cannot run; see §5 of the paper).
@@ -202,45 +212,67 @@ type retiredBlock struct {
 
 // threadState is per-thread bookkeeping, cache-line padded.
 type threadState struct {
-	_           [64]byte
-	allocCount  uint64
-	retireCount uint64
-	allocFailed bool // last Alloc returned Nil for pool exhaustion
-	retired     []retiredBlock
-	unreclaimed atomic.Int64 // len(retired), readable by samplers
-	scratch     []uint64      // scan scratch (HP address / HE era snapshot)
-	sum         resSummary    // scan scratch (reservation summary)
-	freeScratch []mem.Handle  // scan scratch (blocks to free in one batch)
-	scans       atomic.Uint64 // retire-list scans executed
-	scanned     atomic.Uint64 // retired blocks examined across all scans
-	freed       atomic.Uint64 // blocks reclaimed by scans
-	_           [64]byte
+	_            [64]byte
+	allocCount   uint64
+	retireCount  uint64
+	sinceAdvance uint64 // retirements since the last epoch advance seen by this tid
+	allocFailed  bool   // last Alloc returned Nil for pool exhaustion
+	store        retireStore
+	drainAt      int // adaptive watermark: scan when store.count reaches it
+	drainStep    int // current watermark step (EmptyFreq, doubling when futile)
+	unreclaimed  atomic.Int64 // store.count, readable by samplers
+	scratch      []uint64      // scan scratch (HP address / HE era snapshot)
+	sum          resSummary    // scan scratch (reservation summary)
+	freeScratch  []mem.Handle  // scan scratch (blocks to free in one batch)
+	scans        atomic.Uint64 // retire-list scans executed
+	scanned      atomic.Uint64 // conflict tests run across all scans
+	freed        atomic.Uint64 // blocks reclaimed by scans
+	bucketSkips  atomic.Uint64 // whole buckets kept by one corner test
+	bucketFrees  atomic.Uint64 // whole buckets freed by one corner test
+	_            [64]byte
 }
 
 // base carries the machinery shared by every scheme: the global clock, the
 // reservation table, per-thread retire lists, and the alloc/retire cadence
 // of Figs. 2, 4 and 5.
 type base struct {
-	name  string
-	mem   Memory
-	clock *epoch.Clock
-	res   *epoch.Table
-	opts  Options
-	obs   *obs.SchemeObs // nil when observability is off (hooks nil-check)
-	ts    []threadState
+	name        string
+	mem         Memory
+	clock       *epoch.Clock
+	res         *epoch.Table
+	opts        Options
+	obs         *obs.SchemeObs // nil when observability is off (hooks nil-check)
+	bucketShift uint           // log2 epochs per retire bucket
+	adaptive    bool           // watermark-driven drains (off: fixed EmptyFreq cadence)
+	pressure    *atomic.Bool   // serving layer's soft-watermark drain-pressure flag
+	ts          []threadState
 }
 
 func newBase(name string, m Memory, o Options) base {
 	o = o.withDefaults()
-	return base{
-		name:  name,
-		mem:   m,
-		clock: epoch.NewClock(),
-		res:   epoch.NewTable(o.Threads),
-		opts:  o,
-		obs:   o.Obs,
-		ts:    make([]threadState, o.Threads),
+	shift := uint(defaultBucketShift)
+	if o.BucketShift > 0 {
+		shift = uint(o.BucketShift)
+	} else if o.BucketShift < 0 {
+		shift = 0
 	}
+	b := base{
+		name:        name,
+		mem:         m,
+		clock:       epoch.NewClock(),
+		res:         epoch.NewTable(o.Threads),
+		opts:        o,
+		obs:         o.Obs,
+		bucketShift: shift,
+		adaptive:    true,
+		pressure:    new(atomic.Bool),
+		ts:          make([]threadState, o.Threads),
+	}
+	for i := range b.ts {
+		b.ts[i].drainAt = o.EmptyFreq
+		b.ts[i].drainStep = o.EmptyFreq
+	}
+	return b
 }
 
 func (b *base) Name() string            { return b.name }
@@ -286,6 +318,13 @@ type ScanStats struct {
 	Scans   uint64 // empty() executions
 	Scanned uint64 // retired blocks examined (conflict tests actually run)
 	Freed   uint64 // blocks reclaimed
+	// BucketSkips/BucketFrees count whole-bucket decisions: buckets kept or
+	// freed by a single corner test against the reservation summary instead
+	// of per-block tests. They measure how much of the backlog the bucketed
+	// layout lets a scan not walk. A store-level decision (one test settling
+	// every bucket at once) counts each live bucket it covered.
+	BucketSkips uint64
+	BucketFrees uint64
 }
 
 // MeanListLen returns the average number of blocks examined per scan.
@@ -314,12 +353,34 @@ func (b *base) ScanStats() ScanStats {
 		out.Scans += b.ts[i].scans.Load()
 		out.Scanned += b.ts[i].scanned.Load()
 		out.Freed += b.ts[i].freed.Load()
+		out.BucketSkips += b.ts[i].bucketSkips.Load()
+		out.BucketFrees += b.ts[i].bucketFrees.Load()
 	}
 	return out
 }
 
+// SetDrainPressure sets or clears the serving layer's drain-pressure flag:
+// while set, the adaptive drain ignores its futile-scan backoff and scans
+// whenever the unreclaimed count is at least EmptyFreq above the last scan's
+// residue. The admission-control remediator raises it when a shard's total
+// unreclaimed crosses the soft watermark — global evidence that space, not
+// scan cost, is the binding constraint — and clears it below.
+func (b *base) SetDrainPressure(on bool) { b.pressure.Store(on) }
+
+// SetDrainPressure invokes the scheme's drain-pressure flag if it has one
+// (every registered scheme does, via base).
+func SetDrainPressure(s Scheme, on bool) {
+	if p, ok := s.(interface{ SetDrainPressure(bool) }); ok {
+		p.SetDrainPressure(on)
+	}
+}
+
 // Reservations exposes the reservation table (tests and diagnostics).
 func (b *base) Reservations() *epoch.Table { return b.res }
+
+// threadStore exposes tid's retire store (tests and diagnostics; callers
+// must hold the same single-goroutine ownership of tid as the scan paths).
+func (b *base) threadStore(tid int) *retireStore { return &b.ts[tid].store }
 
 // allocEpochs implements the alloc cadence of Figs. 4/5: bump the counter,
 // advance the epoch every EpochFreq allocations, allocate, stamp the birth
@@ -328,6 +389,11 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 	ts := &b.ts[tid]
 	ts.allocFailed = false
 	ts.allocCount++
+	// An allocation proves the thread's op loop is allocating, so the alloc
+	// cadence is the one epoch source; reset retire's liveness fallback (see
+	// base.retire) so a mixed alloc+retire workload advances the epoch once
+	// per EpochFreq ops, not twice — the paper's Fig. 5 cadence.
+	ts.sinceAdvance = 0
 	if ts.allocCount%uint64(b.opts.EpochFreq) == 0 {
 		e := b.clock.Advance()
 		b.obs.EpochAdvance(tid, e)
@@ -369,18 +435,22 @@ func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
 }
 
 // retire implements the retire cadence shared by Figs. 2/4/5: stamp the
-// retire epoch, append to the thread-local list, scan every EmptyFreq
-// retirements via the scheme-specific drain.
+// retire epoch, bucket the block into the thread-local store, and scan when
+// the drain policy says to (see shouldDrain).
 //
-// It also advances the global epoch every EpochFreq retirements. For EBR
-// this IS the paper's cadence (Fig. 2 lines 15–17). For the epoch-tagging
-// schemes it is a liveness addition beyond the paper, which advances only
-// in alloc (§3): a retire-heavy phase (e.g. draining a structure) performs
-// no allocations, so the epoch would freeze, every retired block's
-// interval would touch the current epoch, and nothing would ever be
-// reclaimed until some future allocation. Advancing on retirement cannot
-// weaken Theorem 2's robustness bound — it only reduces the number of
-// births per epoch.
+// Epoch cadence: the clock has ONE advance source per op. For the
+// epoch-tagging schemes that source is alloc (allocEpochs, the paper's §3
+// cadence); retire advances only as a liveness fallback, after EpochFreq
+// consecutive allocation-free retirements (a pure retire phase — e.g.
+// draining a structure — performs no allocations, so without the fallback
+// the epoch would freeze and every retired interval would touch the current
+// epoch forever). Any allocation resets the fallback counter, so a mixed
+// alloc+retire workload no longer advances twice per EpochFreq ops — the
+// double-rate bug vs the paper's Fig. 5 cadence. For EBR-style schemes
+// (allocPlain never touches the counter) the fallback fires every EpochFreq
+// retirements, which IS the paper's Fig. 2 lines 15–17. Advancing on
+// retirement cannot weaken Theorem 2's robustness bound — it only reduces
+// the number of births per epoch.
 func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 	if h.IsNil() {
 		panic("core: retire of nil handle")
@@ -390,21 +460,44 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 	e := b.clock.Now()
 	b.mem.SetRetireEpoch(h, e)
 	b.mem.MarkRetired(h)
-	ts.retired = append(ts.retired, retiredBlock{h: h, birth: b.mem.Birth(h), retire: e})
-	ts.unreclaimed.Store(int64(len(ts.retired)))
-	b.obs.Retire(tid, e, len(ts.retired))
+	ts.store.add(h, b.mem.Birth(h), e, b.bucketShift)
+	ts.unreclaimed.Store(int64(ts.store.count))
+	b.obs.Retire(tid, e, ts.store.count)
 	ts.retireCount++
-	if ts.retireCount%uint64(b.opts.EpochFreq) == 0 {
+	ts.sinceAdvance++
+	if ts.sinceAdvance >= uint64(b.opts.EpochFreq) {
+		ts.sinceAdvance = 0
 		ne := b.clock.Advance()
 		b.obs.EpochAdvance(tid, ne)
 	}
-	if ts.retireCount%uint64(b.opts.EmptyFreq) == 0 {
+	if b.shouldDrain(ts) {
 		drain(tid)
 	}
 }
 
-// scan walks tid's retire list, freeing every block for which canFree
-// returns true; it is the skeleton of the pointer-based empty() (HP). The
+// shouldDrain is the drain policy. Adaptive (the scanning schemes): scan
+// when the unreclaimed count reaches the watermark set after the last scan
+// (its residue + drainStep, where drainStep is EmptyFreq after a productive
+// scan and doubles up to 32×EmptyFreq while scans are futile), or — under
+// the serving layer's drain-pressure flag — whenever the count is at least
+// EmptyFreq over the residue, which collapses the backoff to the base
+// cadence when space is the binding constraint. Fixed (Hyaline): every
+// EmptyFreq retirements, the paper cadence; its seal-and-hand has no
+// freed/examined yield for the watermark to learn from, and backing off
+// would just grow the sealed batches.
+func (b *base) shouldDrain(ts *threadState) bool {
+	if !b.adaptive {
+		return ts.retireCount%uint64(b.opts.EmptyFreq) == 0
+	}
+	if ts.store.count >= ts.drainAt {
+		return true
+	}
+	return b.pressure.Load() && ts.store.count >= ts.drainAt-ts.drainStep+b.opts.EmptyFreq
+}
+
+// scan walks tid's retire store, freeing every block for which canFree
+// returns true; it is the skeleton of the pointer-based empty() (HP, whose
+// hazard test is per-address and gains nothing from epoch corners). The
 // epoch and interval schemes use the cheaper scanRetiredBefore /
 // scanSummarized below. Freed blocks are returned to the allocator in one
 // batch at the end of the walk.
@@ -412,37 +505,80 @@ func (b *base) scan(tid int, canFree func(retiredBlock) bool) {
 	ts := &b.ts[tid]
 	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
-	examined := uint64(len(ts.retired))
-	ts.scanned.Add(examined)
-	kept := ts.retired[:0]
+	st := &ts.store
+	examined := uint64(st.count)
 	free := ts.freeScratch[:0]
-	for _, rb := range ts.retired {
-		if canFree(rb) {
-			free = append(free, rb.h)
-		} else {
-			kept = append(kept, rb)
+	out := st.buckets[:0]
+	for bi := range st.buckets {
+		bk := &st.buckets[bi]
+		w := bk.start
+		for k := bk.start; k < len(bk.retires); k++ {
+			rb := retiredBlock{h: bk.handles[k], birth: bk.births[k], retire: bk.retires[k]}
+			if canFree(rb) {
+				free = append(free, rb.h)
+				st.count--
+			} else {
+				if w != k {
+					bk.handles[w], bk.births[w], bk.retires[w] = bk.handles[k], bk.births[k], bk.retires[k]
+				}
+				w++
+			}
 		}
+		bk.truncate(w)
+		if bk.live() == 0 {
+			st.recycle(bk)
+			continue
+		}
+		bk.maybeCompact()
+		out = append(out, *bk)
 	}
-	// Zero the tail so freed entries do not linger in the backing array.
-	for i := len(kept); i < len(ts.retired); i++ {
-		ts.retired[i] = retiredBlock{}
-	}
-	ts.retired = kept
+	st.buckets = out
+	st.hint = 0
+	ts.scanned.Add(examined)
 	ts.freeScratch = free
-	b.finishScan(tid, free, examined, t0)
+	b.finishScan(tid, free, nil, examined, t0)
 }
 
-// finishScan frees the collected batch and settles the counters. examined
-// and t0 feed the scan-end observability hook (t0 from the matching
-// ScanStart; both are dead values when b.obs is nil).
-func (b *base) finishScan(tid int, free []mem.Handle, examined uint64, t0 uint64) {
+// finishScan frees the collected batches — the residual per-block batch
+// plus any whole buckets' handle arrays, under one free-list lock — and
+// settles the counters and the adaptive-drain watermark. examined and t0
+// feed the scan-end observability hook (t0 from the matching ScanStart;
+// both are dead values when b.obs is nil).
+func (b *base) finishScan(tid int, free []mem.Handle, whole [][]mem.Handle, examined uint64, t0 uint64) {
 	ts := &b.ts[tid]
-	ts.freed.Add(uint64(len(free)))
-	ts.unreclaimed.Store(int64(len(ts.retired)))
+	freed := len(free)
+	for _, hs := range whole {
+		freed += len(hs)
+	}
+	ts.freed.Add(uint64(freed))
+	ts.unreclaimed.Store(int64(ts.store.count))
+	if b.adaptive {
+		// Feed the watermark from this scan's yield. A scan that misses the
+		// 2× examined-per-freed target (including the fully futile freed==0
+		// case) doubles the step, up to 32×EmptyFreq: scanning less often
+		// grows the freeable prefix while the re-examined kept tail stays the
+		// same size, so the yield improves at the larger step. Once a scan
+		// meets the target the step HOLDS there — that is the equilibrium the
+		// doubling was searching for. The base cadence re-arms only when a
+		// scan leaves less than one cadence-worth of backlog behind: the
+		// residue the backoff was amortizing against is gone. The serving
+		// layer's pressure flag overrides the backoff at the trigger (see
+		// shouldDrain), not here.
+		switch {
+		case freed == 0 || examined > 2*uint64(freed):
+			ts.drainStep *= 2
+			if max := 32 * b.opts.EmptyFreq; ts.drainStep > max {
+				ts.drainStep = max
+			}
+		case ts.store.count < b.opts.EmptyFreq:
+			ts.drainStep = b.opts.EmptyFreq
+		}
+		ts.drainAt = ts.store.count + ts.drainStep
+	}
 	if b.obs.Enabled() {
 		// Record each reclaimed block's retire→free age in epochs — the
 		// live distribution behind Fig. 9's unreclaimed growth. The retire
-		// epochs must be read before FreeBatch recycles the slots; ages are
+		// epochs must be read before the frees recycle the slots; ages are
 		// bucketed locally and flushed once so the per-block cost is a load
 		// and an increment, not an atomic RMW.
 		now := b.clock.Now()
@@ -453,43 +589,74 @@ func (b *base) finishScan(tid int, free []mem.Handle, examined uint64, t0 uint64
 			ages[obs.BucketOf(age)]++
 			sum += age
 		}
+		for _, hs := range whole {
+			for _, h := range hs {
+				age := now - b.mem.RetireEpoch(h)
+				ages[obs.BucketOf(age)]++
+				sum += age
+			}
+		}
 		b.obs.FreeAgeBatch(&ages, sum)
-		b.obs.ScanEnd(tid, t0, int(examined), len(free))
+		b.obs.ScanEnd(tid, t0, int(examined), freed)
 	}
-	if len(free) > 0 {
-		b.mem.FreeBatch(tid, free)
+	if freed > 0 {
+		b.mem.FreeBatches(tid, append(whole, free)...)
 	}
 }
 
 // scanRetiredBefore is EBR's empty(): free every block retired strictly
-// before maxSafe. Because a thread's retire list is appended in retire-epoch
-// order (the global clock is monotone), the freeable blocks form a prefix —
-// the scan frees that prefix and stops at the first kept block instead of
-// re-walking the whole backlog, so a scan's cost is O(freed+1) no matter
-// how large a stalled reservation has let the list grow.
+// before maxSafe. Within each bucket the retire epochs are sorted (the
+// global clock is monotone), so the freeable blocks form a prefix of the
+// live window — the scan frees that prefix and stops at the first kept
+// block instead of re-walking the backlog, so a scan's cost stays
+// O(freed + buckets) no matter how large a stalled reservation has let the
+// store grow. (EBR and DEBRA stamp no births, so their store degenerates to
+// the single birth-0 bucket and the cost is the flat list's O(freed+1).) A
+// fully-freed bucket hands its whole handle array to the allocator; a
+// partially-freed one advances its live window and compacts when the dead
+// prefix has grown past the compaction gates.
 func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 	ts := &b.ts[tid]
 	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
-	list := ts.retired
+	st := &ts.store
 	free := ts.freeScratch[:0]
-	i := 0
-	for i < len(list) && list[i].retire < maxSafe {
-		free = append(free, list[i].h)
-		list[i] = retiredBlock{}
-		i++
+	var whole [][]mem.Handle
+	var examined, bFrees uint64
+	out := st.buckets[:0]
+	for bi := range st.buckets {
+		bk := &st.buckets[bi]
+		s0, e := bk.start, len(bk.retires)
+		i := s0
+		for i < e && bk.retires[i] < maxSafe {
+			i++
+		}
+		examined += uint64(i - s0)
+		if i < e {
+			examined++ // the first kept block was examined too
+		}
+		if i == e {
+			whole = append(whole, bk.handles[s0:e])
+			st.count -= e - s0
+			bFrees++
+			st.recycle(bk)
+			continue
+		}
+		if i > s0 {
+			free = append(free, bk.handles[s0:i]...)
+			st.count -= i - s0
+			bk.start = i
+			bk.maybeCompact()
+		}
+		out = append(out, *bk)
 	}
-	examined := uint64(i)
-	if i < len(list) {
-		examined++ // the first kept block was examined too
-	}
+	st.buckets = out
+	st.hint = 0
 	ts.scanned.Add(examined)
-	// Advance the slice instead of copying the kept suffix down: the dead
-	// prefix is dropped when the slice next grows past its capacity, and a
-	// scan's cost stays proportional to what it freed, not what it kept.
-	ts.retired = list[i:]
+	ts.bucketFrees.Add(bFrees)
+	b.obs.ScanBuckets(tid, 0, bFrees)
 	ts.freeScratch = free
-	b.finishScan(tid, free, examined, t0)
+	b.finishScan(tid, free, whole, examined, t0)
 }
 
 // interval is one reserved epoch range [lo, hi]. The conflict test of
@@ -596,71 +763,185 @@ func (b *base) summarize(tid int) *resSummary {
 }
 
 // scanSummarized is the interval schemes' and HE's empty(): one summary per
-// scan, then a single pass over the retire list. The list is appended in
-// retire-epoch order, so the prefix of intervals with lo <= retire only
-// grows along the walk — the binary search degrades to an amortized-O(1)
-// merge pointer — and runs of blocks retired inside the protected window
-// are kept in one jump without examining them.
+// scan, then a sweep over the bucketed store that decides as much as it can
+// wholesale before touching blocks.
+//
+// The whole-bucket (and whole-store) decisions rest on the conflict test's
+// monotonicity in the block's lifetime corner: conflicts(birth, retire) can
+// only gain witnesses as birth decreases or retire increases. Two corner
+// lemmas follow, both exact (not approximations):
+//
+//   - Free-all: if the most-protectable corner (birthLo, retireHi) — the
+//     earliest birth paired with the latest retire over the bucket — has no
+//     conflict, then no block in the bucket has one (every block's interval
+//     is contained in the corner's), and the whole bucket frees on one test.
+//   - Keep-all: if conflicts(birthHi, retireLo) holds, the witnessing
+//     reservation satisfies lo <= retireLo and hi >= birthHi, so it covers
+//     every block in the bucket (each has retire >= retireLo and birth <=
+//     birthHi), and the whole bucket is kept on one test. (The converse
+//     direction needs the single-witness form, which is why the test uses
+//     the raw conflict predicate rather than reasoning per-endpoint.)
+//
+// The same two tests run once against the whole store's corners first, so a
+// backlog fully pinned by one stalled reader costs ONE conflict test per
+// scan, and a quiescent drain frees everything with two. Only buckets that
+// straddle a reservation boundary are swept block-by-block — and that
+// residual sweep is a branch-light pass over the bucket's packed epoch
+// arrays: a binary-searched prefix free below minLower, protected-window
+// runs kept in one jump, and an amortized-O(1) merge pointer for the rest
+// (retires are sorted within a bucket).
 func (b *base) scanSummarized(tid int, sum *resSummary) {
 	ts := &b.ts[tid]
 	t0 := b.obs.ScanStart(tid, b.clock.Now())
 	ts.scans.Add(1)
-	list := ts.retired
-	kept := list[:0]
+	st := &ts.store
 	free := ts.freeScratch[:0]
-	examined := uint64(0)
-	j := 0                  // #intervals with lo <= current block's retire
-	prevRetire := uint64(0) // monotonicity guard for the merge pointer
-	for i := 0; i < len(list); i++ {
-		rb := list[i]
+	var whole [][]mem.Handle
+	var examined, bSkips, bFrees uint64
+
+	if st.count > 0 {
+		gBLo, gBHi, gRLo, gRHi := st.corners()
 		examined++
-		if rb.retire < sum.minLower {
-			// Fast path: retired before every reservation began.
-			free = append(free, rb.h)
-			continue
-		}
-		if sum.winLo <= rb.retire && rb.retire <= sum.winHi {
-			// Protected-window run: every consecutive block retired at
-			// or before winHi is kept without a per-block conflict test.
-			end := i + sort.Search(len(list)-i, func(k int) bool {
-				return list[i+k].retire > sum.winHi
-			})
-			prevRetire = list[end-1].retire
-			if len(kept) == i {
-				// Nothing freed ahead of the run: it is already in place,
-				// so a fully pinned backlog costs one binary search, not a
-				// backlog-sized memmove.
-				kept = list[:end]
-			} else {
-				kept = append(kept, list[i:end]...)
-			}
-			i = end - 1
-			j = sort.Search(len(sum.ivs), func(k int) bool { return sum.ivs[k].lo > prevRetire })
-			continue
-		}
-		if rb.retire < prevRetire {
-			// Defensive: retire order violated (cannot happen under a
-			// monotone clock) — fall back to a fresh binary search.
-			j = sort.Search(len(sum.ivs), func(k int) bool { return sum.ivs[k].lo > rb.retire })
+		if sum.conflicts(gBHi, gRLo) {
+			// Store-level keep-all: one reservation covers every block.
+			bSkips += uint64(len(st.buckets))
 		} else {
-			for j < len(sum.ivs) && sum.ivs[j].lo <= rb.retire {
+			examined++
+			if !sum.conflicts(gBLo, gRHi) {
+				// Store-level free-all: nothing is protected.
+				bFrees += uint64(len(st.buckets))
+				for bi := range st.buckets {
+					bk := &st.buckets[bi]
+					whole = append(whole, bk.handles[bk.start:])
+					st.recycle(bk)
+				}
+				st.buckets = st.buckets[:0]
+				st.count = 0
+				st.hint = 0
+			} else {
+				examined = b.sweepBuckets(st, sum, &free, &whole, examined, &bSkips, &bFrees)
+			}
+		}
+	}
+
+	ts.scanned.Add(examined)
+	ts.bucketSkips.Add(bSkips)
+	ts.bucketFrees.Add(bFrees)
+	b.obs.ScanBuckets(tid, bSkips, bFrees)
+	ts.freeScratch = free
+	b.finishScan(tid, free, whole, examined, t0)
+}
+
+// sweepBuckets is scanSummarized's per-bucket pass: corner-test each bucket,
+// then sweep block-by-block only the buckets both corner tests fail on.
+func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle, whole *[][]mem.Handle, examined uint64, bSkips, bFrees *uint64) uint64 {
+	out := st.buckets[:0]
+	for bi := range st.buckets {
+		bk := &st.buckets[bi]
+		s0, e := bk.start, len(bk.retires)
+		examined++
+		if sum.conflicts(bk.birthHi, bk.retires[s0]) {
+			// Keep-all corner: one reservation covers the whole bucket.
+			*bSkips++
+			out = append(out, *bk)
+			continue
+		}
+		examined++
+		if !sum.conflicts(bk.birthLo, bk.retires[e-1]) {
+			// Free-all corner: nothing in the bucket is protected.
+			*bFrees++
+			*whole = append(*whole, bk.handles[s0:e])
+			st.count -= e - s0
+			st.recycle(bk)
+			continue
+		}
+		// Residual sweep. Prefix free below minLower first: retires are
+		// sorted, so the fast path of the flat scan becomes one binary
+		// search plus a bulk append.
+		p := s0 + sort.Search(e-s0, func(k int) bool { return bk.retires[s0+k] >= sum.minLower })
+		if p > s0 {
+			examined++
+			*free = append(*free, bk.handles[s0:p]...)
+			st.count -= p - s0
+			bk.start = p
+		}
+		w := p // in-place write index for kept entries
+		j := 0 // #intervals with lo <= current block's retire (merge pointer)
+		for k := p; k < e; {
+			r := bk.retires[k]
+			if sum.winLo <= r && r <= sum.winHi {
+				// Protected-window run: every consecutive block retired at
+				// or before winHi is kept without a per-block conflict test.
+				q := k + sort.Search(e-k, func(m int) bool { return bk.retires[k+m] > sum.winHi })
+				examined++
+				if w != k {
+					copy(bk.handles[w:], bk.handles[k:q])
+					copy(bk.births[w:], bk.births[k:q])
+					copy(bk.retires[w:], bk.retires[k:q])
+				}
+				w += q - k
+				k = q
+				continue
+			}
+			// Segment: every consecutive block retired before the next
+			// interval lower endpoint sees the same interval prefix, hence
+			// the same protecting max-upper H = prefHi[j-1]. The bucket's
+			// birth bounds then decide most segments wholesale: birthHi <= H
+			// keeps all (H's interval has lo <= r for the whole segment),
+			// birthLo > H frees all (no interval in the prefix reaches any
+			// birth). Only a segment H splits falls back to per-block tests —
+			// and those are one birth comparison each.
+			for j < len(sum.ivs) && sum.ivs[j].lo <= r {
 				j++
 			}
+			segEnd := e
+			if j < len(sum.ivs) {
+				nlo := sum.ivs[j].lo
+				segEnd = k + sort.Search(e-k, func(m int) bool { return bk.retires[k+m] >= nlo })
+			}
+			examined++
+			switch {
+			case j == 0:
+				*free = append(*free, bk.handles[k:segEnd]...)
+				st.count -= segEnd - k
+			case bk.birthHi <= sum.prefHi[j-1]:
+				if w != k {
+					copy(bk.handles[w:], bk.handles[k:segEnd])
+					copy(bk.births[w:], bk.births[k:segEnd])
+					copy(bk.retires[w:], bk.retires[k:segEnd])
+				}
+				w += segEnd - k
+			case bk.birthLo > sum.prefHi[j-1]:
+				*free = append(*free, bk.handles[k:segEnd]...)
+				st.count -= segEnd - k
+			default:
+				h := sum.prefHi[j-1]
+				for m := k; m < segEnd; m++ {
+					examined++
+					if bk.births[m] <= h {
+						if w != m {
+							bk.handles[w], bk.births[w], bk.retires[w] = bk.handles[m], bk.births[m], bk.retires[m]
+						}
+						w++
+					} else {
+						*free = append(*free, bk.handles[m])
+						st.count--
+					}
+				}
+			}
+			k = segEnd
 		}
-		prevRetire = rb.retire
-		if j > 0 && sum.prefHi[j-1] >= rb.birth {
-			kept = append(kept, rb)
-		} else {
-			free = append(free, rb.h)
+		bk.truncate(w)
+		if bk.live() == 0 {
+			st.recycle(bk)
+			continue
 		}
+		bk.maybeCompact()
+		out = append(out, *bk)
 	}
-	ts.scanned.Add(examined)
-	for i := len(kept); i < len(list); i++ {
-		list[i] = retiredBlock{}
-	}
-	ts.retired = kept
-	ts.freeScratch = free
-	b.finishScan(tid, free, examined, t0)
+	st.buckets = out
+	st.hint = 0
+	return examined
 }
 
 // scanIntervals is the shared empty() of POIBR, TagIBR and 2GEIBR: digest

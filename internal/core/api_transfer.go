@@ -16,15 +16,18 @@ package core
 // epoch- and interval-based schemes); HP and HE override it.
 func (b *base) TransferSlot(tid, from, to int) {}
 
-// AdoptRetired moves every block on from's retire list onto to's, returning
-// the number of blocks adopted. Both lists are kept in retire-epoch order —
-// the invariant the prefix (EBR) and merge-pointer (summarized) scans rely
-// on — so adoption is a merge, not an append: the clock is global and
-// monotone, but the two threads' retirements interleave arbitrarily, and a
-// naive append would put an old orphaned backlog after to's fresh tail.
+// AdoptRetired moves every block in from's retire store into to's,
+// returning the number of blocks adopted. Both stores keep each bucket's
+// retire epochs sorted — the invariant the prefix (EBR) and merge-pointer
+// (summarized) scans rely on — so adoption merges bucket-by-bucket: buckets
+// with the same birth-epoch key merge their SoA arrays by retire epoch (the
+// clock is global and monotone, but the two threads' retirements interleave
+// arbitrarily, and a naive append would put an old orphaned backlog after
+// to's fresh tail); buckets whose key only one side has move wholesale,
+// without copying a block.
 //
 // The caller must own tid `to` (be its single goroutine) and must have
-// established that no goroutine owns `from`: the from-side retire list is
+// established that no goroutine owns `from`: the from-side retire store is
 // read without synchronization, exactly like its owner would read it.
 func (b *base) AdoptRetired(from, to int) int {
 	if from == to {
@@ -32,27 +35,12 @@ func (b *base) AdoptRetired(from, to int) int {
 	}
 	src := &b.ts[from]
 	dst := &b.ts[to]
-	n := len(src.retired)
+	n := dst.store.adopt(&src.store)
 	if n == 0 {
 		return 0
 	}
-	merged := make([]retiredBlock, 0, n+len(dst.retired))
-	i, j := 0, 0
-	for i < n && j < len(dst.retired) {
-		if src.retired[i].retire <= dst.retired[j].retire {
-			merged = append(merged, src.retired[i])
-			i++
-		} else {
-			merged = append(merged, dst.retired[j])
-			j++
-		}
-	}
-	merged = append(merged, src.retired[i:]...)
-	merged = append(merged, dst.retired[j:]...)
-	dst.retired = merged
-	src.retired = nil
 	src.unreclaimed.Store(0)
-	dst.unreclaimed.Store(int64(len(merged)))
+	dst.unreclaimed.Store(int64(dst.store.count))
 	return n
 }
 

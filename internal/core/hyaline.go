@@ -105,6 +105,11 @@ func NewHyaline(m Memory, o Options) *Hyaline {
 		slots:    make([]hySlot, o.Threads),
 		inflight: make([]paddedCounter, o.Threads),
 	}
+	// Hyaline seals on the fixed EmptyFreq cadence: the watermark-driven
+	// adaptive drain learns from a scan's freed/examined yield, but a seal
+	// is a handoff — its yield says nothing about protection — and backing
+	// off would only grow the sealed batches.
+	s.adaptive = false
 	for i := range s.slots {
 		s.slots[i].head.Store(hyInactive)
 	}
@@ -218,7 +223,7 @@ func (s *Hyaline) leave(slot, freeTid int) {
 	}
 	ts.scanned.Add(examined)
 	ts.freeScratch = free
-	s.finishScan(freeTid, free, examined, t0)
+	s.finishScan(freeTid, free, nil, examined, t0)
 }
 
 // sealAndHand closes tid's open batch and pushes one link node onto every
@@ -227,17 +232,15 @@ func (s *Hyaline) leave(slot, freeTid int) {
 // itself frees the batch — the path that makes quiescent drains immediate.
 func (s *Hyaline) sealAndHand(tid int) {
 	ts := &s.ts[tid]
-	if len(ts.retired) == 0 {
+	if ts.store.count == 0 {
 		return
 	}
 	t0 := s.obs.ScanStart(tid, s.clock.Now())
 	ts.scans.Add(1)
-	blocks := make([]retiredBlock, len(ts.retired))
-	copy(blocks, ts.retired)
-	for i := range ts.retired {
-		ts.retired[i] = retiredBlock{}
-	}
-	ts.retired = ts.retired[:0]
+	// takeAll drains the open accumulation in retire-epoch order (Hyaline
+	// stamps no births, so the store is the single birth-0 bucket and this
+	// is a straight copy).
+	blocks := ts.store.takeAll()
 	ts.unreclaimed.Store(0)
 	s.inflight[tid].n.Add(int64(len(blocks)))
 
@@ -270,9 +273,9 @@ func (s *Hyaline) sealAndHand(tid int) {
 		s.inflight[tid].n.Add(-int64(len(blocks)))
 		ts.scanned.Add(examined)
 		ts.freeScratch = free
-		s.finishScan(tid, free, examined, t0)
+		s.finishScan(tid, free, nil, examined, t0)
 		return
 	}
 	ts.scanned.Add(examined)
-	s.finishScan(tid, nil, examined, t0)
+	s.finishScan(tid, nil, nil, examined, t0)
 }

@@ -192,7 +192,7 @@ func TestHyalineFreeMatchesRefCountOracle(t *testing.T) {
 					retiredTotal++
 				}
 			default: // seal whatever tid 0 has accumulated
-				n := len(s.ts[0].retired)
+				n := s.ts[0].store.count
 				if n == 0 {
 					continue
 				}
@@ -207,7 +207,7 @@ func TestHyalineFreeMatchesRefCountOracle(t *testing.T) {
 					freedWant += n
 				}
 			}
-			unsealed := len(s.ts[0].retired)
+			unsealed := s.ts[0].store.count
 			if got, want := s.Unreclaimed(0), unsealed+expectUnreclaimed(); got != want {
 				t.Fatalf("seed %d step %d: Unreclaimed(0) = %d, oracle predicts %d", seed, step, got, want)
 			}

@@ -162,15 +162,18 @@ func TestScanSummarizedMatchesNaiveFullScan(t *testing.T) {
 
 // TestScanExaminedDropsWhenPinned is the regression test for the scan cost
 // itself: with one stalled reader pinning every retired block, repeated
-// scans over the ever-growing backlog must examine O(1) blocks each
-// (protected-window run-skip for the interval schemes, stop-at-first-kept
-// for EBR) — not re-walk the whole list. Before the summarized scans the
-// mean examined per scan grew linearly with the backlog.
+// scans over the ever-growing backlog must examine O(1) blocks each (the
+// store-level keep-all corner test for the interval schemes,
+// stop-at-first-kept for EBR) — not re-walk the whole list. Before the
+// summarized scans the mean examined per scan grew linearly with the
+// backlog. Scans are driven explicitly every 4 retirements: the adaptive
+// drain would (correctly) stop scheduling futile scans on its own, and this
+// test is about the cost of a scan that does run, not about how often.
 func TestScanExaminedDropsWhenPinned(t *testing.T) {
 	for _, name := range []string{"ebr", "poibr", "tagibr", "2geibr"} {
 		t.Run(name, func(t *testing.T) {
-			r := newRig(t, name, 2) // EmptyFreq 4: a scan every 4 retirements
-			s := r.scheme
+			_, s := quietScheme(t, name, 2)
+			clk := epochOf(s)
 
 			// tid 1 is a stalled reader covering every epoch this test uses.
 			resOf(s).At(1).Set(1, 1<<60)
@@ -182,11 +185,17 @@ func TestScanExaminedDropsWhenPinned(t *testing.T) {
 					t.Fatal("pool exhausted")
 				}
 				s.Retire(0, h)
+				if i%2 == 0 {
+					clk.Advance() // spread lifetimes across many buckets
+				}
+				if (i+1)%4 == 0 {
+					s.Drain(0)
+				}
 			}
 
 			st := s.(interface{ ScanStats() ScanStats }).ScanStats()
-			if st.Scans < uint64(blocks/8) {
-				t.Fatalf("only %d scans ran; the cadence did not fire", st.Scans)
+			if st.Scans < uint64(blocks/4) {
+				t.Fatalf("only %d scans ran; the test lost its explicit drains", st.Scans)
 			}
 			if st.Freed != 0 {
 				t.Fatalf("%d blocks freed under a covering reservation", st.Freed)
@@ -196,8 +205,8 @@ func TestScanExaminedDropsWhenPinned(t *testing.T) {
 			}
 			// The backlog averaged ~blocks/2 per scan; examining a handful of
 			// blocks per scan is the behavior under test. 4.0 leaves slack
-			// for scheme-specific cadence effects while still failing any
-			// full-list walk by two orders of magnitude.
+			// for scheme-specific effects while still failing any full-list
+			// walk by two orders of magnitude.
 			if mean := st.MeanListLen(); mean > 4.0 {
 				t.Fatalf("mean examined per scan = %.1f over a pinned backlog of %d; scans are re-walking the list",
 					mean, blocks)
@@ -205,11 +214,136 @@ func TestScanExaminedDropsWhenPinned(t *testing.T) {
 
 			// Unpin: the whole backlog reclaims in one scan.
 			resOf(s).At(1).Clear()
-			epochOf(s).Advance()
+			clk.Advance()
 			s.Drain(0)
 			if got := s.Unreclaimed(0); got != 0 {
 				t.Fatalf("%d blocks survive after the reservation cleared", got)
 			}
 		})
+	}
+}
+
+// TestAdaptiveDrainBacksOffWhenFutile pins the drain policy itself: under a
+// stalled reservation that makes every scan futile, the watermark must back
+// off (far fewer scans than retirements/EmptyFreq), and after the pin
+// clears, a productive scan must reset the step to the base cadence.
+// Hyaline is the counter-case: its seal cadence stays fixed at EmptyFreq.
+func TestAdaptiveDrainBacksOffWhenFutile(t *testing.T) {
+	for _, name := range []string{"ebr", "tagibr", "2geibr", "debra"} {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, name, 2) // EmptyFreq 4
+			s := r.scheme
+			resOf(s).At(1).Set(1, 1<<60)
+
+			const blocks = 400
+			for i := 0; i < blocks; i++ {
+				h := s.Alloc(0)
+				if h.IsNil() {
+					t.Fatal("pool exhausted")
+				}
+				s.Retire(0, h)
+			}
+			st := s.(interface{ ScanStats() ScanStats }).ScanStats()
+			if st.Scans == 0 {
+				t.Fatal("no scan ran at all; the watermark never fired")
+			}
+			// Fixed cadence would run blocks/EmptyFreq = 100 scans; doubling
+			// backoff (capped at 32×EmptyFreq=128) runs ~8 over 400 retires.
+			if st.Scans > uint64(blocks/8) {
+				t.Fatalf("%d futile scans over %d pinned retires; the watermark is not backing off", st.Scans, blocks)
+			}
+
+			// Unpin; the next cadence-triggered scan is productive and the
+			// step resets: retiring another 2×EmptyFreq blocks must scan at
+			// least once and leave at most a cadence-worth unreclaimed.
+			resOf(s).At(1).Clear()
+			epochOf(s).Advance()
+			s.Drain(0)
+			if got := s.Unreclaimed(0); got != 0 {
+				t.Fatalf("%d blocks survive after the reservation cleared", got)
+			}
+			before := s.(interface{ ScanStats() ScanStats }).ScanStats().Scans
+			for i := 0; i < 8; i++ {
+				h := s.Alloc(0)
+				if h.IsNil() {
+					t.Fatal("pool exhausted")
+				}
+				s.Retire(0, h)
+			}
+			after := s.(interface{ ScanStats() ScanStats }).ScanStats().Scans
+			if after == before {
+				t.Fatal("no scan within 2×EmptyFreq retirements after a productive drain; the step did not reset")
+			}
+		})
+	}
+	t.Run("hyaline-fixed-cadence", func(t *testing.T) {
+		r := newRig(t, "hyaline", 2)
+		s := r.scheme
+		s.StartOp(1) // an active slot keeps every sealed batch in flight
+		const blocks = 64
+		for i := 0; i < blocks; i++ {
+			h := s.Alloc(0)
+			if h.IsNil() {
+				t.Fatal("pool exhausted")
+			}
+			s.Retire(0, h)
+		}
+		st := s.(interface{ ScanStats() ScanStats }).ScanStats()
+		if want := uint64(blocks / 4); st.Scans != want {
+			t.Fatalf("hyaline sealed %d times over %d retires, want the fixed cadence %d", st.Scans, blocks, want)
+		}
+		s.EndOp(1)
+		s.Drain(0)
+	})
+}
+
+// TestDrainPressureOverridesBackoff: the serving layer's soft-watermark
+// signal must collapse the futile-scan backoff to the base cadence — under
+// pressure a pinned thread keeps probing every EmptyFreq retirements (so
+// reclaim happens promptly once the pin clears), instead of waiting out a
+// backed-off watermark.
+func TestDrainPressureOverridesBackoff(t *testing.T) {
+	r := newRig(t, "tagibr", 2) // EmptyFreq 4
+	s := r.scheme
+	resOf(s).At(1).Set(1, 1<<60)
+
+	const blocks = 400
+	retireN := func(n int) {
+		for i := 0; i < n; i++ {
+			h := s.Alloc(0)
+			if h.IsNil() {
+				t.Fatal("pool exhausted")
+			}
+			s.Retire(0, h)
+		}
+	}
+	retireN(blocks)
+	stats := func() ScanStats { return s.(interface{ ScanStats() ScanStats }).ScanStats() }
+	backedOff := stats().Scans
+	if backedOff > uint64(blocks/8) {
+		t.Fatalf("%d scans before pressure; backoff is broken", backedOff)
+	}
+
+	SetDrainPressure(s, true)
+	retireN(blocks)
+	underPressure := stats().Scans - backedOff
+	// Every EmptyFreq retirements must now scan: 400/4 = 100 scans.
+	if underPressure < uint64(blocks/4) {
+		t.Fatalf("only %d scans under drain pressure over %d retires, want ~%d", underPressure, blocks, blocks/4)
+	}
+
+	SetDrainPressure(s, false)
+	prev := stats().Scans
+	retireN(blocks)
+	relaxed := stats().Scans - prev
+	if relaxed > uint64(blocks/8) {
+		t.Fatalf("%d scans after pressure cleared; the backoff did not resume", relaxed)
+	}
+
+	resOf(s).At(1).Clear()
+	epochOf(s).Advance()
+	s.Drain(0)
+	if got := s.Unreclaimed(0); got != 0 {
+		t.Fatalf("%d blocks survive after the reservation cleared", got)
 	}
 }

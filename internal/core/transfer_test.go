@@ -20,6 +20,38 @@ func churnRetire(t *testing.T, rig *testRig, tid, n int) {
 	}
 }
 
+// assertStoreInvariants checks the retire-store invariants every scan relies
+// on: bucket keys strictly ascending, no empty bucket retained, retire
+// epochs sorted within each bucket's live window, births inside the
+// bucket's birth bounds, and the live total matching count.
+func assertStoreInvariants(t *testing.T, st *retireStore) {
+	t.Helper()
+	total := 0
+	for bi := range st.buckets {
+		bk := &st.buckets[bi]
+		if bi > 0 && st.buckets[bi-1].key >= bk.key {
+			t.Fatalf("bucket keys out of order at %d: %d >= %d", bi, st.buckets[bi-1].key, bk.key)
+		}
+		if bk.live() <= 0 {
+			t.Fatalf("bucket %d (key %d) is empty but still present", bi, bk.key)
+		}
+		total += bk.live()
+		for k := bk.start; k < len(bk.retires); k++ {
+			if k > bk.start && bk.retires[k-1] > bk.retires[k] {
+				t.Fatalf("bucket %d retire order violated at %d: %d > %d",
+					bi, k, bk.retires[k-1], bk.retires[k])
+			}
+			if birth := bk.births[k]; birth < bk.birthLo || birth > bk.birthHi {
+				t.Fatalf("bucket %d birth %d outside bounds [%d, %d]",
+					bi, birth, bk.birthLo, bk.birthHi)
+			}
+		}
+	}
+	if total != st.count {
+		t.Fatalf("store count = %d but live entries = %d", st.count, total)
+	}
+}
+
 // TestAdoptRetiredMergesByRetireEpoch: adoption must interleave the two
 // retire lists by retire epoch, because the prefix (EBR) and merge-pointer
 // (summarized) scans rely on monotone order. A naive append would place an
@@ -54,29 +86,14 @@ func TestAdoptRetiredMergesByRetireEpoch(t *testing.T) {
 			if got := s.Unreclaimed(1); got != before+from {
 				t.Fatalf("adopter has %d blocks, want %d", got, before+from)
 			}
-			// The merged list must be monotone in retire epoch.
-			tr, ok := s.(Transferer)
-			if !ok {
+			// The merged store must preserve the per-bucket invariants the
+			// scans rely on: every bucket's live retire epochs monotone,
+			// birth bounds covering its blocks, keys matching the births.
+			if _, ok := s.(Transferer); !ok {
 				t.Fatal("scheme does not implement Transferer")
 			}
-			_ = tr
-			var retired []retiredBlock
-			switch v := s.(type) {
-			case *EBR:
-				retired = v.ts[1].retired
-			case *TagIBR:
-				retired = v.ts[1].retired
-			case *TwoGE:
-				retired = v.ts[1].retired
-			case *DEBRA:
-				retired = v.ts[1].retired
-			}
-			for i := 1; i < len(retired); i++ {
-				if retired[i-1].retire > retired[i].retire {
-					t.Fatalf("merged retire list out of order at %d: %d > %d",
-						i, retired[i-1].retire, retired[i].retire)
-				}
-			}
+			st := s.(interface{ threadStore(int) *retireStore }).threadStore(1)
+			assertStoreInvariants(t, st)
 			// With the pin withdrawn, one drain of the adopter must reclaim
 			// the whole merged backlog — the drains-to-zero half of the
 			// quarantine story.
@@ -107,7 +124,7 @@ func TestAdoptRetiredHyalineUnsealed(t *testing.T) {
 	}
 	churnRetire(t, rig, 0, 3)
 	churnRetire(t, rig, 1, 3)
-	unsealed := len(s.ts[0].retired)
+	unsealed := s.ts[0].store.count
 	if unsealed == 0 {
 		t.Fatal("tid 0 has no unsealed blocks; the scenario is vacuous")
 	}
@@ -115,13 +132,13 @@ func TestAdoptRetiredHyalineUnsealed(t *testing.T) {
 	if inflight == 0 {
 		t.Fatal("tid 0 has no sealed batches in flight; the scenario is vacuous")
 	}
-	beforeUnsealed := len(s.ts[1].retired)
+	beforeUnsealed := s.ts[1].store.count
 
 	n := AdoptRetired(s, 0, 1)
 	if n != unsealed {
 		t.Fatalf("AdoptRetired moved %d blocks, want the %d unsealed", n, unsealed)
 	}
-	if got := len(s.ts[0].retired); got != 0 {
+	if got := s.ts[0].store.count; got != 0 {
 		t.Fatalf("source kept %d unsealed blocks after adoption", got)
 	}
 	// The victim's in-flight blocks stay charged to it until their batches
@@ -129,16 +146,11 @@ func TestAdoptRetiredHyalineUnsealed(t *testing.T) {
 	if got := s.inflight[0].n.Load(); got != inflight {
 		t.Fatalf("inflight[0] = %d after adoption, want %d untouched", got, inflight)
 	}
-	merged := s.ts[1].retired
+	merged := s.ts[1].store.snapshot()
 	if len(merged) != beforeUnsealed+unsealed {
 		t.Fatalf("adopter has %d unsealed blocks, want %d", len(merged), beforeUnsealed+unsealed)
 	}
-	for i := 1; i < len(merged); i++ {
-		if merged[i-1].retire > merged[i].retire {
-			t.Fatalf("merged open batch out of order at %d: %d > %d",
-				i, merged[i-1].retire, merged[i].retire)
-		}
-	}
+	assertStoreInvariants(t, &s.ts[1].store)
 	// Quiescence: slot 2 leaves (dropping the in-flight batches' references)
 	// and the adopter seals its merged batch with no slot active — everything
 	// must free.

@@ -108,9 +108,10 @@ func (c Config) withDefaults() (Config, error) {
 type Result struct {
 	Config
 
-	Ops        uint64  // completed operations (workers only)
-	Mops       float64 // throughput in million operations per second
-	AvgRetired float64 // mean retired-but-unreclaimed blocks (global estimate)
+	Ops        uint64        // completed operations (workers only)
+	Mops       float64       // throughput in million operations per second
+	Elapsed    time.Duration // measured wall time (workers running), not Config.Duration
+	AvgRetired float64       // mean retired-but-unreclaimed blocks (global estimate)
 
 	// Operation outcome counters: a healthy write-dominated run at steady
 	// state succeeds ~50% of inserts and removes; a degenerate workload
@@ -138,6 +139,10 @@ type Result struct {
 	ScanExamined uint64
 	ScanMeanLen  float64
 	ScanFreed    uint64
+	// Whole-bucket scan decisions: buckets kept (skips) or freed wholesale
+	// by one corner test each, without touching their blocks.
+	ScanBucketSkips uint64
+	ScanBucketFrees uint64
 
 	PerThreadOps []uint64
 }
@@ -315,6 +320,7 @@ func Run(cfg Config) (Result, error) {
 			res.Latency.Merge(&stats[tid].lat)
 		}
 	}
+	res.Elapsed = elapsed
 	res.Mops = float64(res.Ops) / elapsed.Seconds() / 1e6
 	if ss, ok := scheme.(interface{ ScanStats() core.ScanStats }); ok {
 		stats := ss.ScanStats()
@@ -322,6 +328,8 @@ func Run(cfg Config) (Result, error) {
 		res.ScanExamined = stats.Scanned
 		res.ScanMeanLen = stats.MeanListLen()
 		res.ScanFreed = stats.Freed
+		res.ScanBucketSkips = stats.BucketSkips
+		res.ScanBucketFrees = stats.BucketFrees
 	}
 	st := inst.PoolStats()
 	res.Allocs, res.Frees, res.Live = st.Allocs, st.Frees, st.Live()

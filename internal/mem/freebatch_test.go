@@ -150,6 +150,67 @@ func TestFreeBatchSmallBatchStaysCached(t *testing.T) {
 	}
 }
 
+// TestFreeBatchesMultiSlice: the variadic form frees every slice under one
+// acquisition — nil and empty slices mixed in are fine, the total reaches
+// the counters, and an all-empty call is a no-op.
+func TestFreeBatchesMultiSlice(t *testing.T) {
+	p := newTestPool(t, 1, 0)
+	var g1, g2 []Handle
+	for i := 0; i < 6; i++ {
+		h, _ := p.Alloc(0)
+		g1 = append(g1, h)
+	}
+	for i := 0; i < 4; i++ {
+		h, _ := p.Alloc(0)
+		g2 = append(g2, h)
+	}
+	p.FreeBatches(0, g1, nil, []Handle{}, g2)
+	for _, h := range append(append([]Handle{}, g1...), g2...) {
+		if p.State(h) != StateFree {
+			t.Fatalf("%v: state = %v after FreeBatches, want free", h, p.State(h))
+		}
+	}
+	if st := p.Stats(); st.Frees != 10 {
+		t.Fatalf("Frees = %d, want 10", st.Frees)
+	}
+	p.FreeBatches(0)
+	p.FreeBatches(0, nil, nil)
+	if st := p.Stats(); st.Frees != 10 {
+		t.Fatalf("Frees = %d after empty FreeBatches, want 10", st.Frees)
+	}
+}
+
+// TestFreeBatchesSpillHysteresis: an over-cap multi-slice free drains the
+// thread cache to the same low-water mark as FreeBatch, with one spill for
+// the whole call.
+func TestFreeBatchesSpillHysteresis(t *testing.T) {
+	p := newTestPool(t, 2, 0)
+	const n = 300
+	var a, b []Handle
+	for i := 0; i < n; i++ {
+		h, ok := p.Alloc(0)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if i%2 == 0 {
+			a = append(a, h)
+		} else {
+			b = append(b, h)
+		}
+	}
+	leftover := len(p.caches[0].slots)
+	p.FreeBatches(0, a, b)
+	if got, want := len(p.caches[0].slots), cacheCap-refillBatch; got != want {
+		t.Fatalf("cache holds %d slots after spill, want low-water mark %d", got, want)
+	}
+	if got, want := len(p.freeList), leftover+n-(cacheCap-refillBatch); got != want {
+		t.Fatalf("global free list holds %d slots, want %d", got, want)
+	}
+	if _, ok := p.Alloc(1); !ok {
+		t.Fatal("tid 1 could not alloc from spilled slots")
+	}
+}
+
 // TestFreeBatchConcurrent races batch frees against allocations on distinct
 // tids; run with -race. At quiescence every slot must be back in the free
 // state with balanced counters.

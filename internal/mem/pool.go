@@ -315,6 +315,35 @@ func (p *Pool[T]) FreeBatch(tid int, hs []Handle) {
 	}
 }
 
+// FreeBatches frees every handle in every batch under Free's lifecycle
+// rules, with at most one acquisition of the global free-list lock for all
+// batches together. The bucketed reclamation scans use it to return a mix
+// of whole-bucket handle arrays and a residual batch without first copying
+// them into one slice.
+func (p *Pool[T]) FreeBatches(tid int, batches ...[]Handle) {
+	total := 0
+	for _, hs := range batches {
+		total += len(hs)
+	}
+	if total == 0 {
+		return
+	}
+	c := &p.caches[tid]
+	for _, hs := range batches {
+		for _, h := range hs {
+			c.slots = append(c.slots, p.release(h))
+		}
+	}
+	c.frees.Add(uint64(total))
+	if len(c.slots) > cacheCap {
+		spill := len(c.slots) - (cacheCap - refillBatch)
+		p.freeMu.Lock()
+		p.freeList = append(p.freeList, c.slots[len(c.slots)-spill:]...)
+		p.freeMu.Unlock()
+		c.slots = c.slots[:len(c.slots)-spill]
+	}
+}
+
 // Get returns the body of the slot addressed by h; marks and packed epoch
 // are ignored. Get panics on a nil handle. Get does not check the slot
 // state: like a C pointer dereference, reading a freed slot "works" and

@@ -66,6 +66,11 @@ const (
 	// quarantined tid, Epoch = current epoch, Value = blocks adopted).
 	// Written by the worker that executed the cleanup, into its own ring.
 	KindQuarantine
+	// KindBucketScan: a scan decided whole retire-list buckets with corner
+	// tests instead of per-block sweeps (Epoch = buckets kept wholesale,
+	// Value = buckets freed wholesale). Recorded only when either is
+	// non-zero.
+	KindBucketScan
 )
 
 func (k Kind) String() string {
@@ -86,6 +91,8 @@ func (k Kind) String() string {
 		return "stall"
 	case KindQuarantine:
 		return "quarantine"
+	case KindBucketScan:
+		return "bucket_scan"
 	}
 	return "unknown"
 }

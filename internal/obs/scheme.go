@@ -157,6 +157,17 @@ func (o *SchemeObs) ScanEnd(tid int, t0 uint64, examined, freed int) {
 	}
 }
 
+// ScanBuckets records a scan's whole-bucket decisions: skipped buckets were
+// kept by one corner test, freed buckets freed by one. No-op (and no ring
+// event) when both are zero — scans over flat single-bucket stores (EBR and
+// friends) stay silent.
+func (o *SchemeObs) ScanBuckets(tid int, skipped, freed uint64) {
+	if o == nil || o.rec == nil || (skipped == 0 && freed == 0) {
+		return
+	}
+	o.rec.Record(o.ringBase+tid, KindBucketScan, tid, skipped, freed)
+}
+
 // FreeAge records one reclaimed block's retire→free age in epochs.
 func (o *SchemeObs) FreeAge(age uint64) {
 	if o == nil || o.retireAge == nil {

@@ -397,6 +397,13 @@ func (e *Engine) remediator() {
 			if un >= sh.softCap {
 				sh.drainGen.Add(1)
 				sh.q.pushControl(request{op: opCtlDrain})
+				// Couple the scheme's adaptive drain to the admission signal:
+				// above the soft watermark, space is the binding constraint,
+				// so workers stop backing off futile scans and probe at the
+				// base EmptyFreq cadence until the backlog recedes.
+				core.SetDrainPressure(s, true)
+			} else {
+				core.SetDrainPressure(s, false)
 			}
 
 			snaps[si] = sh.leases.snapshot(snaps[si])

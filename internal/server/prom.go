@@ -65,6 +65,14 @@ func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
 	for i, s := range stats {
 		p.Uint("ibr_scan_freed_total", shardLabel[i], s.Scan.Freed)
 	}
+	p.Header("ibr_scan_bucket_skips_total", "counter", "Retire buckets kept wholesale by one corner test per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_scan_bucket_skips_total", shardLabel[i], s.Scan.BucketSkips)
+	}
+	p.Header("ibr_scan_bucket_frees_total", "counter", "Retire buckets freed wholesale by one corner test per shard.")
+	for i, s := range stats {
+		p.Uint("ibr_scan_bucket_frees_total", shardLabel[i], s.Scan.BucketFrees)
+	}
 
 	p.Header("ibr_tid_quarantines_total", "counter", "Tids quarantined per shard (stalled or dead lease holders whose reservation was cleared and retire list adopted).")
 	for i, s := range stats {
