@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke clean
+.PHONY: all build vet lint lintdebug test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke clean
 
 all: build vet lint test
 
@@ -15,10 +15,21 @@ vet:
 
 # ibrlint: the go/analysis suite enforcing the IBR reservation protocol
 # (StartOp/EndOp bracketing, retire-before-free, birth-epoch stamping,
-# atomic/plain access discipline). See DESIGN.md and cmd/ibrlint.
-lint:
-	$(GO) build -o bin/ibrlint ./cmd/ibrlint
+# atomic/plain access discipline, handle lifecycle typestate). See DESIGN.md
+# and cmd/ibrlint. The binary is a real file target: it rebuilds only when
+# its sources change, so repeated `make lint` runs ride go vet's cache.
+LINT_SRCS := go.mod $(shell find cmd/ibrlint internal/analysis vendor/golang.org/x/tools -name '*.go' -not -path '*/testdata/*')
+
+bin/ibrlint: $(LINT_SRCS)
+	$(GO) build -o $@ ./cmd/ibrlint
+
+lint: bin/ibrlint
 	$(GO) vet -vettool=$(CURDIR)/bin/ibrlint ./...
+
+# The same suite over the ibrdebug build: the debug-only files (pool
+# assertions, guard liveness checks) get linted too.
+lintdebug: bin/ibrlint
+	$(GO) vet -tags ibrdebug -vettool=$(CURDIR)/bin/ibrlint ./...
 
 test:
 	$(GO) test ./...

@@ -17,11 +17,17 @@
 //	             they escape; structures allocate via Scheme.Alloc
 //	atomicmix    a word accessed through sync/atomic is never accessed
 //	             plainly elsewhere
-//	ibrdirective //ibrlint:ignore directives carry a reason
+//	lifecycle    handle typestate: no use, retire, free, or publish of a
+//	             handle after it was retired on some path; no read handle
+//	             outliving its op's EndOp unpublished. Flows through struct
+//	             fields and across function boundaries (param-effect facts)
+//	ibrdirective //ibrlint:ignore directives carry a reason and actually
+//	             suppress something (stale ignores are flagged)
 //
 // False positives are suppressed with `//ibrlint:ignore <reason>` on the
 // flagged line, the line above it, or the doc comment of the enclosing
-// function. The reason string is mandatory.
+// function. The reason string is mandatory, and a directive that stops
+// suppressing anything is itself reported.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"ibr/internal/analysis/endop"
 	"ibr/internal/analysis/epochstamp"
 	"ibr/internal/analysis/ibrdirective"
+	"ibr/internal/analysis/lifecycle"
 	"ibr/internal/analysis/retirefree"
 )
 
@@ -42,6 +49,7 @@ func main() {
 		retirefree.Analyzer,
 		epochstamp.Analyzer,
 		atomicmix.Analyzer,
+		lifecycle.Analyzer,
 		ibrdirective.Analyzer,
 	)
 }

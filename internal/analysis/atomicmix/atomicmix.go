@@ -30,7 +30,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:     "atomicmix",
 	Doc:      "check that words accessed through sync/atomic are never read or written plainly",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ibrlint.Directives},
 	Run:      run,
 }
 

@@ -15,6 +15,12 @@
 // Stub packages under testdata/src reuse the real import-path suffixes
 // (stub/internal/core, stub/internal/mem, sync/atomic), which is all the
 // analyzers key on — see ibrlint.PkgIs.
+//
+// Each analyzer runs over every package the golden package (transitively)
+// imports, in dependency order, before the golden package itself, against a
+// real in-memory fact store — so fact-producing analyzers (lifecycle) see
+// their cross-package summaries exactly as they would under the unitchecker
+// driver. Only the golden package's diagnostics are matched.
 package checktest
 
 import (
@@ -25,6 +31,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -51,32 +58,25 @@ func Run(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
 		t.Fatalf("load %s: %v", pkgPath, err)
 	}
 
-	var diags []analysis.Diagnostic
-	results := make(map[*analysis.Analyzer]any)
-	var exec func(a *analysis.Analyzer, collect bool) error
-	exec = func(a *analysis.Analyzer, collect bool) error {
-		if _, done := results[a]; done {
-			return nil
-		}
-		for _, req := range a.Requires {
-			if err := exec(req, false); err != nil {
-				return err
-			}
-		}
-		pass := newPass(a, l.fset, pi, results, func(d analysis.Diagnostic) {
-			if collect {
-				diags = append(diags, d)
-			}
-		})
-		res, err := a.Run(pass)
-		if err != nil {
-			return fmt.Errorf("%s: %v", a.Name, err)
-		}
-		results[a] = res
-		return nil
+	h := &harness{
+		l:        l,
+		facts:    make(map[factKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+		results:  make(map[resKey]any),
 	}
+	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
-		if err := exec(a, true); err != nil {
+		// Dependency packages first (in load order, which is import-closed),
+		// so object facts are in the store before the golden package runs.
+		for _, dep := range l.order {
+			if dep == pkgPath {
+				continue
+			}
+			if err := h.exec(a, l.pkgs[dep], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h.exec(a, pi, &diags); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,26 +84,119 @@ func Run(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
 	match(t, l.fset, pi, diags)
 }
 
-// newPass assembles an analysis.Pass by hand. Fact functions are inert: the
-// ibrlint analyzers declare no facts, and ctrlflow merely loses cross-package
-// noReturn precision, which the golden packages do not rely on.
-func newPass(a *analysis.Analyzer, fset *token.FileSet, pi *pkgInfo, results map[*analysis.Analyzer]any, report func(analysis.Diagnostic)) *analysis.Pass {
+type resKey struct {
+	a   *analysis.Analyzer
+	pkg *types.Package
+}
+
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+type harness struct {
+	l         *loader
+	facts     map[factKey]analysis.Fact
+	pkgFacts  map[pkgFactKey]analysis.Fact
+	results   map[resKey]any
+	collected map[resKey]bool
+}
+
+// exec runs a (and its transitive Requires) over one package. Diagnostics
+// are appended to diags when non-nil, else dropped.
+func (h *harness) exec(a *analysis.Analyzer, pi *pkgInfo, diags *[]analysis.Diagnostic) error {
+	key := resKey{a, pi.pkg}
+	if _, done := h.results[key]; done {
+		// Already ran (possibly collecting): nothing more to do.
+		if diags == nil || h.collected[key] {
+			return nil
+		}
+		// Ran earlier as a dependency without collection; diagnostics for
+		// this package were dropped. Re-running would double-report facts,
+		// so callers always collect the golden package last — this branch
+		// exists only to fail loudly if that invariant breaks.
+		return fmt.Errorf("%s: ran over %s before collection was requested", a.Name, pi.pkg.Path())
+	}
+	for _, req := range a.Requires {
+		if err := h.exec(req, pi, nil); err != nil {
+			return err
+		}
+	}
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		resultOf[req] = h.results[resKey{req, pi.pkg}]
+	}
+	pass := h.newPass(a, pi, resultOf, func(d analysis.Diagnostic) {
+		if diags != nil {
+			*diags = append(*diags, d)
+		}
+	})
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s over %s: %v", a.Name, pi.pkg.Path(), err)
+	}
+	h.results[key] = res
+	if h.collected == nil {
+		h.collected = make(map[resKey]bool)
+	}
+	h.collected[key] = diags != nil
+	return nil
+}
+
+// newPass assembles an analysis.Pass by hand, with fact functions backed by
+// the harness's in-memory store.
+func (h *harness) newPass(a *analysis.Analyzer, pi *pkgInfo, resultOf map[*analysis.Analyzer]any, report func(analysis.Diagnostic)) *analysis.Pass {
 	return &analysis.Pass{
-		Analyzer:          a,
-		Fset:              fset,
-		Files:             pi.files,
-		Pkg:               pi.pkg,
-		TypesInfo:         pi.info,
-		TypesSizes:        types.SizesFor("gc", "amd64"),
-		ResultOf:          results,
-		Report:            report,
-		ReadFile:          os.ReadFile,
-		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-		ExportObjectFact:  func(types.Object, analysis.Fact) {},
-		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-		ExportPackageFact: func(analysis.Fact) {},
-		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		Analyzer:   a,
+		Fset:       h.l.fset,
+		Files:      pi.files,
+		Pkg:        pi.pkg,
+		TypesInfo:  pi.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     report,
+		ReadFile:   os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			f, ok := h.facts[factKey{obj, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			h.facts[factKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			f, ok := h.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			h.pkgFacts[pkgFactKey{pi.pkg, reflect.TypeOf(fact)}] = fact
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, f := range h.facts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, f := range h.pkgFacts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+			}
+			return out
+		},
 	}
 }
 
@@ -117,11 +210,14 @@ type pkgInfo struct {
 
 // loader parses and typechecks testdata packages, resolving imports to
 // sibling directories under root. It doubles as the types.Importer, so stub
-// packages can import each other (ds stubs import stub/internal/core).
+// packages can import each other (ds stubs import stub/internal/core). The
+// order slice records completion order: a package's imports always precede
+// it.
 type loader struct {
-	fset *token.FileSet
-	root string
-	pkgs map[string]*pkgInfo
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*pkgInfo
+	order []string
 }
 
 func (l *loader) Import(path string) (*types.Package, error) {
@@ -178,6 +274,7 @@ func (l *loader) load(path string) (*pkgInfo, error) {
 	}
 	pi := &pkgInfo{pkg: pkg, files: files, info: info}
 	l.pkgs[path] = pi
+	l.order = append(l.order, path)
 	return pi, nil
 }
 

@@ -35,7 +35,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:     "derefguard",
 	Doc:      "check that shared-memory accesses in internal/ds are bracketed by StartOp/EndOp",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, ibrlint.Directives},
 	Run:      run,
 }
 

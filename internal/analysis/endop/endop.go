@@ -26,7 +26,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:     "endop",
 	Doc:      "check that every StartOp is matched by EndOp on all return paths",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer, ibrlint.Directives},
 	Run:      run,
 }
 

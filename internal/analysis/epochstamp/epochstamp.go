@@ -30,7 +30,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:     "epochstamp",
 	Doc:      "check that allocator Alloc results are birth-stamped (SetBirth) before the handle escapes",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer, ibrlint.Directives},
 	Run:      run,
 }
 

@@ -15,3 +15,10 @@ import (
 func TestEscapeHatch(t *testing.T) {
 	checktest.Run(t, "ignorecase/internal/ds", retirefree.Analyzer, ibrdirective.Analyzer)
 }
+
+// TestStale runs the same pair over the staleness golden: a directive that
+// suppressed a live retirefree finding is used, one that suppresses nothing
+// from the whole suite is reported.
+func TestStale(t *testing.T) {
+	checktest.Run(t, "staleignore/internal/ds", retirefree.Analyzer, ibrdirective.Analyzer)
+}

@@ -1,0 +1,149 @@
+package ibrlint
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"strings"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var directiveSetType = reflect.TypeOf((*DirectiveSet)(nil))
+
+// Directives is a shared sub-analyzer every protocol analyzer Requires: it
+// collects the package's //ibrlint: control comments once and hands out a
+// *DirectiveSet. Routing all suppression checks through one set lets
+// ibrdirective, which Requires the whole suite and therefore runs last,
+// report the directives that suppressed nothing — a stale ignore is a latent
+// protocol violation waiting to be pasted above real code.
+var Directives = &analysis.Analyzer{
+	Name:       "ibrlintdirectives",
+	Doc:        "collect //ibrlint: directives and track which ones suppress a diagnostic",
+	Run:        collectDirectives,
+	ResultType: directiveSetType,
+}
+
+// Directive is one //ibrlint: control comment.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Verb   string
+	Reason string
+	Test   bool // sits in a _test.go file
+	// fnPos/fnEnd bound the enclosing function when the directive sits on a
+	// func's doc comment (zero otherwise): such a directive suppresses
+	// findings anywhere in that function.
+	fnPos, fnEnd token.Pos
+	used         bool
+}
+
+// Valid reports whether d is an ignore directive carrying a reason — the
+// only form that suppresses anything.
+func (d *Directive) Valid() bool { return d.Verb == "ignore" && d.Reason != "" }
+
+// DirectiveSet indexes a package's directives and records which of them were
+// consulted successfully by some analyzer's Reporter. Analyzers run
+// concurrently under unitchecker, so usage marking is mutex-guarded.
+type DirectiveSet struct {
+	fset *token.FileSet
+
+	mu    sync.Mutex
+	all   []*Directive
+	lines map[string]map[int]*Directive // valid ignores by file -> line
+	funcs []*Directive                  // valid ignores on func doc comments
+}
+
+func collectDirectives(pass *analysis.Pass) (any, error) {
+	s := &DirectiveSet{fset: pass.Fset, lines: make(map[string]map[int]*Directive)}
+	for _, f := range pass.Files {
+		// Map doc-comment positions to their function's extent so a
+		// directive in a doc comment covers the whole declaration.
+		docRange := make(map[*ast.Comment][2]token.Pos)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				docRange[c] = [2]token.Pos{fd.Pos(), fd.End()}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, reason, ok := DirectiveReason(c.Text)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				d := &Directive{
+					Pos:    c.Pos(),
+					File:   p.Filename,
+					Line:   p.Line,
+					Verb:   verb,
+					Reason: reason,
+					Test:   strings.HasSuffix(p.Filename, "_test.go"),
+				}
+				if r, onDoc := docRange[c]; onDoc {
+					d.fnPos, d.fnEnd = r[0], r[1]
+				}
+				s.all = append(s.all, d)
+				if !d.Valid() {
+					continue
+				}
+				m := s.lines[d.File]
+				if m == nil {
+					m = make(map[int]*Directive)
+					s.lines[d.File] = m
+				}
+				m[d.Line] = d
+				if d.fnPos != token.NoPos {
+					s.funcs = append(s.funcs, d)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Suppressed reports whether a finding at pos is covered by a valid
+// directive — same line, the line immediately above, or the doc comment of
+// the enclosing function — and marks the covering directive as used.
+func (s *DirectiveSet) Suppressed(pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.lines[p.Filename]; m != nil {
+		if d := m[p.Line]; d != nil {
+			d.used = true
+			return true
+		}
+		if d := m[p.Line-1]; d != nil {
+			d.used = true
+			return true
+		}
+	}
+	for _, d := range s.funcs {
+		if d.fnPos <= pos && pos < d.fnEnd {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every directive in the package, valid or not.
+func (s *DirectiveSet) All() []*Directive {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.all
+}
+
+// Used reports whether d suppressed at least one finding in this run.
+func (s *DirectiveSet) Used(d *Directive) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.used
+}

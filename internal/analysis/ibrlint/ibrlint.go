@@ -18,11 +18,13 @@ import (
 	"golang.org/x/tools/go/types/typeutil"
 )
 
-// CorePkg and MemPkg are the import-path suffixes of the packages that
-// define the reservation protocol surface.
+// CorePkg, MemPkg, and GuardPkg are the import-path suffixes of the
+// packages that define the reservation protocol surface: the raw scheme
+// API, the allocator, and the Guarded[T] facade layered over both.
 const (
-	CorePkg = "internal/core"
-	MemPkg  = "internal/mem"
+	CorePkg  = "internal/core"
+	MemPkg   = "internal/mem"
+	GuardPkg = "internal/guard"
 )
 
 // PkgIs reports whether path is suffix or ends in "/"+suffix.
@@ -79,6 +81,26 @@ func MemCall(info *types.Info, call *ast.CallExpr, names ...string) *types.Func 
 		return fn
 	}
 	return nil
+}
+
+// GuardCall is CoreCall for methods declared in internal/guard (the
+// Guarded[T]/Guard[T] facade).
+func GuardCall(info *types.Info, call *ast.CallExpr, names ...string) *types.Func {
+	if fn := MethodCallee(info, call); IsMethod(fn, GuardPkg, names...) {
+		return fn
+	}
+	return nil
+}
+
+// IsHandleType reports whether t is mem.Handle (by name plus import-path
+// suffix, so the testdata stub qualifies too).
+func IsHandleType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Handle" && obj.Pkg() != nil && PkgIs(obj.Pkg().Path(), MemPkg)
 }
 
 // PkgFuncCall returns the invoked function if call invokes a PACKAGE-LEVEL

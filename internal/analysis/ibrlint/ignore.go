@@ -1,7 +1,6 @@
 package ibrlint
 
 import (
-	"go/ast"
 	"go/token"
 	"strings"
 
@@ -26,70 +25,35 @@ func DirectiveReason(text string) (verb, reason string, ok bool) {
 	return verb, strings.TrimSpace(reason), true
 }
 
-// validIgnore reports whether text is an ignore directive carrying a reason.
-func validIgnore(text string) bool {
-	verb, reason, ok := DirectiveReason(text)
-	return ok && verb == "ignore" && reason != ""
-}
-
 // Reporter filters an analyzer's diagnostics through the //ibrlint:ignore
 // directives of the package being analyzed. A finding is suppressed when a
 // valid directive appears on the same line, on the line immediately above,
 // or in the doc comment of the enclosing function declaration.
+//
+// The directive index lives in the shared Directives result so that every
+// suppression is recorded against the directive that performed it;
+// ibrdirective reports the directives that never suppressed anything.
 type Reporter struct {
-	pass  *analysis.Pass
-	lines map[string]map[int]bool // filename -> lines carrying a directive
-	funcs []funcRange             // functions whose doc comment carries one
+	pass *analysis.Pass
+	set  *DirectiveSet
 }
 
-type funcRange struct{ pos, end token.Pos }
-
-// NewReporter scans pass.Files for ignore directives.
+// NewReporter returns a Reporter backed by the pass's Directives result.
+// The analyzer must list ibrlint.Directives in its Requires; if it does not
+// (or the harness did not run it), the directives are collected locally and
+// usage tracking is lost for the staleness check.
 func NewReporter(pass *analysis.Pass) *Reporter {
-	r := &Reporter{pass: pass, lines: make(map[string]map[int]bool)}
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !validIgnore(c.Text) {
-					continue
-				}
-				p := pass.Fset.Position(c.Pos())
-				m := r.lines[p.Filename]
-				if m == nil {
-					m = make(map[int]bool)
-					r.lines[p.Filename] = m
-				}
-				m[p.Line] = true
-			}
-		}
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				if validIgnore(c.Text) {
-					r.funcs = append(r.funcs, funcRange{fd.Pos(), fd.End()})
-					break
-				}
-			}
-		}
+	set, ok := pass.ResultOf[Directives].(*DirectiveSet)
+	if !ok {
+		res, _ := collectDirectives(pass)
+		set = res.(*DirectiveSet)
 	}
-	return r
+	return &Reporter{pass: pass, set: set}
 }
 
 // Suppressed reports whether a finding at pos is covered by a directive.
 func (r *Reporter) Suppressed(pos token.Pos) bool {
-	p := r.pass.Fset.Position(pos)
-	if m := r.lines[p.Filename]; m != nil && (m[p.Line] || m[p.Line-1]) {
-		return true
-	}
-	for _, fr := range r.funcs {
-		if fr.pos <= pos && pos < fr.end {
-			return true
-		}
-	}
-	return false
+	return r.set.Suppressed(pos)
 }
 
 // Reportf reports a diagnostic at pos unless it is suppressed.

@@ -1,0 +1,102 @@
+package lifecycle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamEffect is a bitmask of life-cycle effects a function applies to one
+// of its parameters. Summaries let the caller-side dataflow see through a
+// call: passing a handle to a function that retires it is a retire at the
+// call site, and passing an already-retired handle to a function that
+// dereferences it is a use-after-retire.
+type ParamEffect uint8
+
+const (
+	// EffDeref: the parameter is dereferenced (Pool.Get / Guard.Deref).
+	EffDeref ParamEffect = 1 << iota
+	// EffRetire: the parameter is handed to Scheme.Retire on some path.
+	EffRetire
+	// EffFree: the parameter is freed directly (Pool.Free / Guard.Discard).
+	EffFree
+	// EffPublish: the parameter is stored into a shared pointer
+	// (Scheme.Write / CAS new-value / a node-field store).
+	EffPublish
+	// EffEscape: the parameter escapes (returned, stored in a composite
+	// literal or slice) and may outlive the call.
+	EffEscape
+)
+
+func (e ParamEffect) String() string {
+	if e == 0 {
+		return "-"
+	}
+	var parts []string
+	for _, f := range []struct {
+		bit  ParamEffect
+		name string
+	}{{EffDeref, "deref"}, {EffRetire, "retire"}, {EffFree, "free"}, {EffPublish, "publish"}, {EffEscape, "escape"}} {
+		if e&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Summary is the per-function fact: one effect mask per signature parameter
+// (the receiver, if any, is not summarized). It is computed by an
+// intra-package fixpoint so effects propagate through local helper chains,
+// and exported as an object fact so they propagate across package
+// boundaries through the driver's fact files.
+type Summary struct {
+	Params []ParamEffect
+}
+
+// AFact marks Summary as a go/analysis fact.
+func (*Summary) AFact() {}
+
+func (s *Summary) String() string {
+	parts := make([]string, len(s.Params))
+	for i, e := range s.Params {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("lifecycle(%s)", strings.Join(parts, ", "))
+}
+
+// nonzero reports whether any parameter carries an effect.
+func (s *Summary) nonzero() bool {
+	for _, e := range s.Params {
+		if e != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// merge ORs o into s, reporting whether s changed.
+func (s *Summary) merge(o *Summary) bool {
+	changed := false
+	for i, e := range o.Params {
+		if i < len(s.Params) && s.Params[i]|e != s.Params[i] {
+			s.Params[i] |= e
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sumEqual reports whether two summaries carry identical effect masks.
+func sumEqual(a, b *Summary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}

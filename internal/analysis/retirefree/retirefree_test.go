@@ -18,3 +18,7 @@ func TestClean(t *testing.T) {
 func TestSubstrateExempt(t *testing.T) {
 	checktest.Run(t, "retireexempt/internal/core", retirefree.Analyzer)
 }
+
+func TestDoubleRetire(t *testing.T) {
+	checktest.Run(t, "retiredouble/internal/ds", retirefree.Analyzer)
+}

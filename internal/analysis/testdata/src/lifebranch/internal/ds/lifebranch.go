@@ -1,0 +1,60 @@
+// Package ds exercises the lifecycle analyzer's path sensitivity: a Retire
+// on one branch poisons every use reachable after the join, while a branch
+// that returns (or a reassignment) keeps the fall-through clean.
+package ds
+
+import "stub/internal/core"
+import "stub/internal/mem"
+
+// branchUse retires h only when cond holds, then dereferences it on the
+// joined path: the bad path makes the Get a use-after-retire.
+func branchUse(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int, cond bool) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	if cond {
+		s.Retire(tid, h)
+	}
+	return p.Get(h).Val // want "Pool.Get of a handle retired at line 16: the block may already be reclaimed"
+}
+
+// branchRetireAgain retires on one branch and unconditionally after the
+// join: the same handle would enter the retire list twice.
+func branchRetireAgain(s core.Scheme, head *core.Ptr, tid int, cond bool) {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	if cond {
+		s.Retire(tid, h)
+	}
+	s.Retire(tid, h) // want "Retire of a handle already retired at line 28"
+}
+
+// branchReturn is the clean shape: the retiring branch leaves the function,
+// so no retired value reaches the Get.
+func branchReturn(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int, cond bool) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	if cond {
+		s.Retire(tid, h)
+		return 0
+	}
+	return p.Get(h).Val
+}
+
+// branchReacquire is the Harris–Michael idiom: the retired value is
+// overwritten before the join, so the back edge carries a fresh handle.
+func branchReacquire(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	for i := 0; i < 4; i++ {
+		if h.Mark0() {
+			s.Retire(tid, h)
+			h = s.Read(tid, 1, head)
+			continue
+		}
+	}
+	return p.Get(h).Val
+}

@@ -1,0 +1,67 @@
+// Package ds exercises the lifecycle analyzer across function boundaries:
+// the retire and the offending use live in different functions — and, for
+// the lib helpers, in a different package — connected only by
+// parameter-effect summaries (intra-package fixpoint and exported facts).
+package ds
+
+import (
+	"lifecross/internal/lib"
+
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+// retireThenRead crosses the package boundary both ways: lib.Unlink's
+// EffRetire fact poisons h, and lib.Val's EffDeref fact makes the last call
+// a use-after-retire.
+func retireThenRead(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	lib.Unlink(s, tid, h)
+	return lib.Val(p, h) // want "handle retired at line 21 is passed to Val, which dereferences it"
+}
+
+// doubleRetireCross retires locally, then again through the helper.
+func doubleRetireCross(s core.Scheme, head *core.Ptr, tid int) {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	s.Retire(tid, h)
+	lib.Unlink(s, tid, h) // want "handle already retired at line 30 is retired again by Unlink"
+}
+
+// publishRetiredCross hands a retired handle to a helper that publishes it.
+func publishRetiredCross(s core.Scheme, head, dst *core.Ptr, tid int) {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	s.Retire(tid, h)
+	lib.Install(s, tid, dst, h) // want "handle retired at line 39 is passed to Install, which publishes it"
+}
+
+// unlinkLocal is the same-package helper: its summary comes from the
+// intra-package fixpoint rather than an imported fact.
+func unlinkLocal(s core.Scheme, tid int, h mem.Handle) {
+	s.Retire(tid, h)
+}
+
+// retireThenReadLocal is the intra-package variant of retireThenRead.
+func retireThenReadLocal(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	unlinkLocal(s, tid, h)
+	return p.Get(h).Val // want "Pool.Get of a handle retired at line 54"
+}
+
+// readFresh is the clean counterpart: the helper retires a different
+// handle, so the deref stays legitimate.
+func readFresh(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	dead := s.ReadRoot(tid, 0, head)
+	lib.Unlink(s, tid, dead)
+	h := s.ReadRoot(tid, 1, head)
+	return lib.Val(p, h)
+}

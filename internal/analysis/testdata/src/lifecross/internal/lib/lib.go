@@ -1,0 +1,26 @@
+// Package lib provides protocol helpers for the cross-package lifecycle
+// golden: the analyzer summarizes what each function does to its handle
+// parameters (retire, deref, publish) and exports the summaries as facts,
+// which the ds-side golden then sees through its call sites.
+package lib
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+// Unlink retires h on behalf of the caller: its summary carries EffRetire
+// on the h parameter.
+func Unlink(s core.Scheme, tid int, h mem.Handle) {
+	s.Retire(tid, h)
+}
+
+// Val dereferences h: its summary carries EffDeref.
+func Val(p *mem.Pool, h mem.Handle) uint64 {
+	return p.Get(h).Val
+}
+
+// Install publishes h into dst: its summary carries EffPublish.
+func Install(s core.Scheme, tid int, dst *core.Ptr, h mem.Handle) {
+	s.Write(tid, dst, h)
+}

@@ -1,0 +1,51 @@
+// Package ds exercises the protected-window check: a handle obtained from
+// a protected read is covered only until the plain EndOp of its op; using
+// it past that point — unless it was published first — reads memory the
+// reclamation scan may already have freed.
+package ds
+
+import "stub/internal/core"
+import "stub/internal/mem"
+
+// endExpire dereferences a read handle after the op's EndOp.
+func endExpire(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	s.EndOp(tid)
+	return p.Get(h).Val // want "op whose EndOp already ran at line 14"
+}
+
+// endEscape leaks the expired handle to the caller instead.
+func endEscape(s core.Scheme, head *core.Ptr, tid int) mem.Handle {
+	s.StartOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	s.EndOp(tid)
+	return h // want "handle read inside this op is returned after EndOp at line 22: it is no longer protected"
+}
+
+// endPublished is clean: the handle was published into the structure before
+// EndOp, so its lifetime no longer depends on the reservation.
+func endPublished(s core.Scheme, p *mem.Pool, head, dst *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	s.Write(tid, dst, h)
+	s.EndOp(tid)
+	return p.Get(h).Val
+}
+
+// endFresh is clean: a handle allocated (not read) this op is private, so
+// the reservation's end does not expire it.
+func endFresh(s core.Scheme, p *mem.Pool, tid int) uint64 {
+	s.StartOp(tid)
+	h := s.Alloc(tid)
+	s.EndOp(tid)
+	return p.Get(h).Val
+}
+
+// endDeferred is clean: the deferred EndOp runs at return, after the Get.
+func endDeferred(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	h := s.ReadRoot(tid, 0, head)
+	return p.Get(h).Val
+}

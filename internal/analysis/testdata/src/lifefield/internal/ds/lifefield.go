@@ -1,0 +1,65 @@
+// Package ds exercises the lifecycle analyzer's flow through struct
+// fields: publication by storing into a node field, and retired state
+// carried by depth-1 field paths and their aliases.
+package ds
+
+import (
+	"stub/internal/core"
+	"stub/internal/mem"
+)
+
+// node is a linked node whose next handle lives in a plain field.
+type node struct {
+	val  uint64
+	next mem.Handle
+}
+
+// window mirrors the findResult idiom: handles held in struct fields.
+type window struct {
+	prev, curr mem.Handle
+}
+
+// fieldPublish stores a fresh handle into another node's field — the block
+// becomes structure-reachable — and then frees it directly.
+func fieldPublish(s core.Scheme, p *mem.Pool, n *node, tid int) {
+	h := s.Alloc(tid)
+	n.next = h
+	p.Free(tid, h) // want "Free of a handle that was published into the shared structure"
+}
+
+// fieldUseAfterRetire retires a handle held in a struct field and then
+// dereferences it through the same field path.
+func fieldUseAfterRetire(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	var w window
+	w.curr = s.ReadRoot(tid, 0, head)
+	s.Retire(tid, w.curr)
+	return p.Get(w.curr).Val // want "Pool.Get of a handle retired at line 37"
+}
+
+// fieldAlias copies the field into a local: retiring the local poisons the
+// field view it aliases.
+func fieldAlias(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	var w window
+	w.curr = s.ReadRoot(tid, 0, head)
+	c := w.curr
+	s.Retire(tid, c)
+	return p.Get(w.curr).Val // want "Pool.Get of a handle retired at line 49"
+}
+
+// fieldReassign is the clean counterpart: overwriting the whole struct
+// kills its field views, so the second window's curr is unrelated to the
+// retired handle.
+func fieldReassign(s core.Scheme, p *mem.Pool, head *core.Ptr, tid int) uint64 {
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	var w window
+	w.curr = s.ReadRoot(tid, 0, head)
+	s.Retire(tid, w.curr)
+	w = window{}
+	w.curr = s.ReadRoot(tid, 0, head)
+	return p.Get(w.curr).Val
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"ibr/internal/core"
+	"ibr/internal/guard"
 	"ibr/internal/mem"
 )
 
@@ -42,7 +43,7 @@ func NewHashMap(cfg Config) (*HashMap, error) {
 		return nil, err
 	}
 	return &HashMap{
-		lc:      listCore{pool: pool, s: s},
+		lc:      listCore{w: guard.New(s, pool)},
 		buckets: make([]core.Ptr, n),
 		shift:   uint(64 - bits.Len(uint(n-1))),
 	}, nil
@@ -102,7 +103,7 @@ func (m *HashMap) Keys() []uint64 {
 }
 
 // Scheme exposes the reclamation scheme.
-func (m *HashMap) Scheme() core.Scheme { return m.lc.s }
+func (m *HashMap) Scheme() core.Scheme { return m.lc.w.Scheme() }
 
 // PoolStats exposes allocator counters.
-func (m *HashMap) PoolStats() mem.Stats { return m.lc.pool.Stats() }
+func (m *HashMap) PoolStats() mem.Stats { return m.lc.w.Pool().Stats() }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ibr/internal/core"
+	"ibr/internal/guard"
 	"ibr/internal/mem"
 )
 
@@ -25,12 +26,16 @@ func listPoison(n *listNode) { n.key = ^uint64(0); n.val = ^uint64(0) }
 // Michael's hash map (one head per bucket), mirroring how the paper's
 // artifact composes them.
 //
+// All protocol traffic goes through the guard facade: each public operation
+// opens a reservation bracket with w.Do, and the Guard it receives is the
+// only handle touch point inside — which is exactly the shape the lifecycle
+// analyzer trusts.
+//
 // Protection-slot discipline (HP/HE): slot 0 guards prev, slot 1 guards
 // curr, slot 2 guards next; slots rotate as the traversal advances. Every
 // other scheme ignores the slot numbers.
 type listCore struct {
-	pool *mem.Pool[listNode]
-	s    core.Scheme
+	w *guard.Guarded[listNode]
 }
 
 // Protection slot roles for the list traversal.
@@ -41,7 +46,7 @@ const (
 )
 
 // restartThreshold is the §4.3.1 starvation bound: after this many failed
-// CAS/validation retries an operation renews its reservation (RestartOp)
+// CAS/validation retries an operation renews its reservation (Restart)
 // before restarting from the head.
 const restartThreshold = 16
 
@@ -58,23 +63,22 @@ type findResult struct {
 // find locates the window (prev, curr) for key per Michael's algorithm:
 // curr is the first unmarked node with curr.key >= key. It unlinks (and
 // retires) any marked nodes it encounters. fails counts retries for the
-// RestartOp cadence and persists across restarts within one operation.
-func (lc *listCore) find(tid int, head *core.Ptr, key uint64, fails *int) findResult {
-	s := lc.s
+// Restart cadence and persists across restarts within one operation.
+func (lc *listCore) find(g *guard.Guard[listNode], head *core.Ptr, key uint64, fails *int) findResult {
 retry:
 	if *fails >= restartThreshold {
 		*fails = 0
-		s.RestartOp(tid)
+		g.Restart()
 	}
 	pp, cc, nn := slotPrev, slotCurr, slotNext
 	prev := head
-	curr := s.ReadRoot(tid, cc, prev).ClearMarks()
+	curr := g.LoadRoot(cc, prev).ClearMarks()
 	for {
 		if curr.IsNil() {
 			return findResult{prev: prev, curr: mem.Nil, found: false, prevSlot: pp, currSlot: cc, nextSlot: nn}
 		}
-		currNode := lc.pool.Get(curr)
-		next := s.Read(tid, nn, &currNode.next)
+		currNode := g.Deref(curr)
+		next := g.Load(nn, &currNode.next)
 		// Validate: prev must still point to curr, unmarked. A raw load
 		// suffices — the value is only compared, never dereferenced.
 		if pv := prev.Raw(); pv.Mark0() || pv.ClearMarks() != curr {
@@ -84,11 +88,11 @@ retry:
 		if next.Mark0() {
 			// curr is logically deleted: unlink it. Whoever wins the CAS
 			// owns the retirement.
-			if !s.CompareAndSwap(tid, prev, curr, next.ClearMarks()) {
+			if !g.CompareAndSwap(prev, curr, next.ClearMarks()) {
 				*fails++
 				goto retry
 			}
-			s.Retire(tid, curr)
+			g.Retire(curr)
 			curr = next.ClearMarks()
 			cc, nn = nn, cc // next's protection slot now guards curr
 			continue
@@ -104,95 +108,99 @@ retry:
 
 // insert adds key→val into the list at head.
 func (lc *listCore) insert(tid int, head *core.Ptr, key, val uint64) bool {
-	s := lc.s
-	s.StartOp(tid)
-	defer s.EndOp(tid)
-	node := mem.Nil
-	fails := 0
-	for {
-		r := lc.find(tid, head, key, &fails)
-		if r.found {
-			if !node.IsNil() {
-				//ibrlint:ignore never published; no CAS linked the node, so no other thread can hold it
-				lc.pool.Free(tid, node)
+	var ok bool
+	lc.w.Do(tid, func(g *guard.Guard[listNode]) {
+		node := mem.Nil
+		fails := 0
+		for {
+			r := lc.find(g, head, key, &fails)
+			if r.found {
+				if !node.IsNil() {
+					g.Discard(node)
+				}
+				return
 			}
-			return false
-		}
-		if node.IsNil() {
-			node = s.Alloc(tid)
 			if node.IsNil() {
-				return false // allocator exhausted; fail the operation
+				node = g.Alloc()
+				if node.IsNil() {
+					return // allocator exhausted; fail the operation
+				}
+				n := g.Deref(node)
+				n.key, n.val = key, val
 			}
-			n := lc.pool.Get(node)
-			n.key, n.val = key, val
+			// Link our private node to the window, then publish.
+			g.Publish(&g.Deref(node).next, r.curr)
+			if g.CompareAndSwap(r.prev, r.curr, node) {
+				ok = true
+				return
+			}
+			fails++
 		}
-		// Link our private node to the window, then publish.
-		s.Write(tid, &lc.pool.Get(node).next, r.curr)
-		if s.CompareAndSwap(tid, r.prev, r.curr, node) {
-			return true
-		}
-		fails++
-	}
+	})
+	return ok
 }
 
 // remove deletes key from the list at head.
 func (lc *listCore) remove(tid int, head *core.Ptr, key uint64) bool {
-	s := lc.s
-	s.StartOp(tid)
-	defer s.EndOp(tid)
-	fails := 0
-	for {
-		r := lc.find(tid, head, key, &fails)
-		if !r.found {
-			return false
+	var ok bool
+	lc.w.Do(tid, func(g *guard.Guard[listNode]) {
+		fails := 0
+		for {
+			r := lc.find(g, head, key, &fails)
+			if !r.found {
+				return
+			}
+			currNode := g.Deref(r.curr)
+			next := g.Load(r.nextSlot, &currNode.next)
+			if next.Mark0() {
+				// Another remover beat us to the logical delete.
+				fails++
+				continue
+			}
+			// Logical delete: mark curr's next pointer.
+			if !g.CompareAndSwap(&currNode.next, next, next.WithMark0()) {
+				fails++
+				continue
+			}
+			// Physical unlink; on failure a later find will clean up (and
+			// that find's thread will retire the node).
+			if g.CompareAndSwap(r.prev, r.curr, next.ClearMarks()) {
+				g.Retire(r.curr)
+			}
+			ok = true
+			return
 		}
-		currNode := lc.pool.Get(r.curr)
-		next := s.Read(tid, r.nextSlot, &currNode.next)
-		if next.Mark0() {
-			// Another remover beat us to the logical delete.
-			fails++
-			continue
-		}
-		// Logical delete: mark curr's next pointer.
-		if !s.CompareAndSwap(tid, &currNode.next, next, next.WithMark0()) {
-			fails++
-			continue
-		}
-		// Physical unlink; on failure a later find will clean up (and that
-		// find's thread will retire the node).
-		if s.CompareAndSwap(tid, r.prev, r.curr, next.ClearMarks()) {
-			s.Retire(tid, r.curr)
-		}
-		return true
-	}
+	})
+	return ok
 }
 
 // get looks key up in the list at head. It reuses find, so it helps unlink
 // marked nodes like the artifact's Michael-list contains.
-func (lc *listCore) get(tid int, head *core.Ptr, key uint64) (uint64, bool) {
-	s := lc.s
-	s.StartOp(tid)
-	defer s.EndOp(tid)
-	fails := 0
-	r := lc.find(tid, head, key, &fails)
-	if !r.found {
-		return 0, false
-	}
-	return lc.pool.Get(r.curr).val, true
+func (lc *listCore) get(tid int, head *core.Ptr, key uint64) (val uint64, found bool) {
+	lc.w.Do(tid, func(g *guard.Guard[listNode]) {
+		fails := 0
+		r := lc.find(g, head, key, &fails)
+		if !r.found {
+			return
+		}
+		val, found = g.Deref(r.curr).val, true
+	})
+	return val, found
 }
 
 // fill bulk-loads sorted unique pairs into an empty chain at head,
 // single-threaded. Links are written through the scheme so TagIBR tags and
-// WCAS packed epochs are consistent.
+// WCAS packed epochs are consistent. It runs at quiescence, outside any
+// bracket, so it uses the facade's raw Scheme/Pool accessors.
 func (lc *listCore) fill(head *core.Ptr, pairs []KV) {
-	s := lc.s
+	s, pool := lc.w.Scheme(), lc.w.Pool()
 	prev := head
 	for _, kv := range pairs {
 		h := s.Alloc(0)
 		if h.IsNil() {
 			panic("ds: pool exhausted during Fill")
 		}
-		n := lc.pool.Get(h)
+		n := pool.Get(h)
 		n.key, n.val = kv.Key, kv.Val
 		s.Write(0, &n.next, mem.Nil)
 		s.Write(0, prev, h)
@@ -202,8 +210,9 @@ func (lc *listCore) fill(head *core.Ptr, pairs []KV) {
 
 // keys walks the chain at quiescence, returning unmarked keys in order.
 func (lc *listCore) keys(head *core.Ptr, out []uint64) []uint64 {
+	pool := lc.w.Pool()
 	for h := head.Raw().ClearMarks(); !h.IsNil(); {
-		n := lc.pool.Get(h)
+		n := pool.Get(h)
 		next := n.next.Raw()
 		if !next.Mark0() { // skip logically deleted stragglers
 			out = append(out, n.key)
@@ -232,7 +241,7 @@ func NewList(cfg Config) (*List, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &List{lc: listCore{pool: pool, s: s}}, nil
+	return &List{lc: listCore{w: guard.New(s, pool)}}, nil
 }
 
 // Name returns "list".
@@ -264,10 +273,10 @@ func (l *List) Fill(pairs []KV) {
 func (l *List) Keys() []uint64 { return l.lc.keys(&l.head, nil) }
 
 // Scheme exposes the reclamation scheme.
-func (l *List) Scheme() core.Scheme { return l.lc.s }
+func (l *List) Scheme() core.Scheme { return l.lc.w.Scheme() }
 
 // PoolStats exposes allocator counters.
-func (l *List) PoolStats() mem.Stats { return l.lc.pool.Stats() }
+func (l *List) PoolStats() mem.Stats { return l.lc.w.Pool().Stats() }
 
 // Range calls fn in ascending key order for every pair with from <= key <=
 // to. Unlike the Bonsai tree's snapshot Range, a mutable list offers only
@@ -276,40 +285,39 @@ func (l *List) PoolStats() mem.Stats { return l.lc.pool.Stats() }
 // reported exactly once, and the traversal is reclamation-safe under any
 // scheme. fn returning false stops the scan.
 func (l *List) Range(tid int, from, to uint64, fn func(key, val uint64) bool) {
-	s := l.lc.s
-	s.StartOp(tid)
-	defer s.EndOp(tid)
-	lo := from // resume cursor: never re-emit a key after a restart
-	pp, cc, nn := slotPrev, slotCurr, slotNext
-	prev := &l.head
-	curr := s.ReadRoot(tid, cc, prev).ClearMarks()
-	for !curr.IsNil() {
-		node := l.lc.pool.Get(curr)
-		next := s.Read(tid, nn, &node.next)
-		if pv := prev.Raw(); pv.Mark0() || pv.ClearMarks() != curr {
-			// Window changed under us: restart from the head (weakly
-			// consistent, like Michael's unlink-helping traversals); the
-			// cursor guarantees each key is emitted at most once.
-			pp, cc, nn = slotPrev, slotCurr, slotNext
-			prev = &l.head
-			curr = s.ReadRoot(tid, cc, prev).ClearMarks()
-			continue
-		}
-		if !next.Mark0() { // skip logically deleted nodes
-			k := node.key
-			if k > to {
-				return
+	l.lc.w.Do(tid, func(g *guard.Guard[listNode]) {
+		lo := from // resume cursor: never re-emit a key after a restart
+		pp, cc, nn := slotPrev, slotCurr, slotNext
+		prev := &l.head
+		curr := g.LoadRoot(cc, prev).ClearMarks()
+		for !curr.IsNil() {
+			node := g.Deref(curr)
+			next := g.Load(nn, &node.next)
+			if pv := prev.Raw(); pv.Mark0() || pv.ClearMarks() != curr {
+				// Window changed under us: restart from the head (weakly
+				// consistent, like Michael's unlink-helping traversals);
+				// the cursor guarantees each key is emitted at most once.
+				pp, cc, nn = slotPrev, slotCurr, slotNext
+				prev = &l.head
+				curr = g.LoadRoot(cc, prev).ClearMarks()
+				continue
 			}
-			if k >= lo {
-				if !fn(k, node.val) {
+			if !next.Mark0() { // skip logically deleted nodes
+				k := node.key
+				if k > to {
 					return
 				}
-				lo = k + 1
+				if k >= lo {
+					if !fn(k, node.val) {
+						return
+					}
+					lo = k + 1
+				}
 			}
+			prev = &node.next
+			pp, cc, nn = cc, nn, pp
+			curr = next.ClearMarks()
 		}
-		prev = &node.next
-		pp, cc, nn = cc, nn, pp
-		curr = next.ClearMarks()
-	}
-	_ = pp
+		_ = pp
+	})
 }

@@ -1,0 +1,17 @@
+//go:build ibrdebug
+
+package guard
+
+// debugState tracks whether the Guard's bracket is still open. A Guard
+// leaked out of its Do closure and used after EndOp would race reclamation
+// nondeterministically; under ibrdebug it panics at the touch point.
+type debugState struct{ active bool }
+
+func (d *debugState) enter() { d.active = true }
+func (d *debugState) exit()  { d.active = false }
+
+func (d *debugState) check() {
+	if !d.active {
+		panic("guard: Guard used outside its Do bracket (the reservation is gone)")
+	}
+}

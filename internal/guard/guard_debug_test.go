@@ -1,0 +1,34 @@
+//go:build ibrdebug
+
+package guard_test
+
+import (
+	"testing"
+
+	"ibr/internal/core"
+	"ibr/internal/guard"
+	"ibr/internal/mem"
+)
+
+// TestGuardEscapePanics proves the ibrdebug liveness check: a Guard
+// retained past its Do bracket panics on the next touch point instead of
+// issuing an unprotected read.
+func TestGuardEscapePanics(t *testing.T) {
+	pool := mem.New[node](mem.Options[node]{Threads: 1})
+	s, err := core.New("2geibr", pool, core.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := guard.New(s, pool)
+
+	var leaked *guard.Guard[node]
+	var root core.Ptr
+	w.Do(0, func(g *guard.Guard[node]) { leaked = g })
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Load on a Guard outside its Do bracket did not panic")
+		}
+	}()
+	leaked.Load(0, &root)
+}

@@ -1,0 +1,11 @@
+//go:build !ibrdebug
+
+package guard
+
+// debugState is empty in normal builds: the bracket-liveness check
+// compiles away entirely.
+type debugState struct{}
+
+func (debugState) enter() {}
+func (debugState) exit()  {}
+func (debugState) check() {}
