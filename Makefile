@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lintdebug test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke clean
+.PHONY: all build vet lint lintdebug test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke tracesmoke clean
 
 all: build vet lint test
 
@@ -155,6 +155,35 @@ chaossmoke:
 	grep -q 'degradation: .* tid quarantines' /tmp/chaossmoke_ibrd3.txt && \
 	grep -q ' 0 blocks unreclaimed after final scan' /tmp/chaossmoke_ibrd3.txt && \
 	echo "chaossmoke leg 3: debra staller neutralized mid-stall, backlog drained to 0"
+
+# Causal-tracing smoke (see DESIGN.md §9): boot ibrd with one injected
+# staller under traced load, capture /debug/trace with ibrtrace mid-stall,
+# and assert (a) the Perfetto JSON parses and holds a complete
+# alloc→retire→freed block span plus wire-propagated op spans, and (b)
+# ibr_pinned_blocks charges the plurality of pinned blocks to the staller's
+# tid. With -workers 2 -stalled 1 the staller deterministically leases tid 2
+# (workers take 0..1, injected stallers follow). -quarantine-after 30s keeps
+# the remediator from clearing the stalled reservation mid-test, and the
+# scrape lands ~4.5s in — inside the staller's SECOND park, when blocks born
+# before its reservation epoch exist to be pinned (the first park starts at
+# boot, before any block it could conflict with).
+tracesmoke:
+	$(GO) build -o bin/ibrd ./cmd/ibrd
+	$(GO) build -o bin/ibrload ./cmd/ibrload
+	$(GO) build -o bin/ibrtrace ./cmd/ibrtrace
+	@./bin/ibrd -addr 127.0.0.1:4400 -http 127.0.0.1:4401 -r hashmap -d tagibr \
+	  -shards 1 -workers 2 -stalled 1 -stallfor 3s -quarantine-after 30s \
+	  -obs-sample 4 -obs-trace 4 -obs-ring 65536 > /tmp/tracesmoke_ibrd.txt & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4400 -c 4 -p 4 -i 6 > /tmp/tracesmoke_load.txt & load=$$!; \
+	sleep 4.5; \
+	./bin/ibrtrace -http 127.0.0.1:4401 -o /tmp/tracesmoke_trace.json; \
+	curl -sf http://127.0.0.1:4401/metrics > /tmp/tracesmoke_metrics.txt; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	test $$rc -eq 0 && \
+	python3 scripts/check_trace.py /tmp/tracesmoke_trace.json /tmp/tracesmoke_metrics.txt 2 && \
+	grep -q 'trace=0x' /tmp/tracesmoke_load.txt && \
+	echo "tracesmoke: complete spans present, blame names the staller tid"
 
 examples:
 	$(GO) run ./examples/quickstart

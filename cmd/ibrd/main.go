@@ -15,8 +15,10 @@
 // The HTTP side serves /debug/vars (JSON gauges under "ibrd"/"ibrd_server"),
 // /metrics (Prometheus text format: per-shard throughput, queue depth,
 // retired-but-unreclaimed, epoch lag, retire→free age histograms, op
-// latency, stall-watchdog alerts), /debug/flightrecorder (SMR lifecycle
-// event dump), and net/http/pprof under /debug/pprof/.
+// latency, stall-watchdog alerts, scan-phase breakdown, pinned-memory
+// blame), /debug/flightrecorder (SMR lifecycle event dump), /debug/trace
+// (the same events as a Perfetto/chrome://tracing JSON timeline), and
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -55,6 +57,7 @@ func main() {
 		obsOn       = flag.Bool("obs", true, "enable the observability layer (flight recorder, histograms, stall watchdog)")
 		obsRing     = flag.Int("obs-ring", 4096, "flight-recorder events kept per worker ring")
 		obsSample   = flag.Int("obs-sample", 64, "record every Nth alloc/retire event (1 = all)")
+		obsTrace    = flag.Int("obs-trace", 64, "trace block lifecycles for every Nth pool slot (rounded to a power of two; 1 = all)")
 		stallThresh = flag.Duration("stall-threshold", time.Second, "reservation age past which the watchdog raises a stall alert")
 		stalled     = flag.Int("stalled", 0, "injected stalled reservation holders per shard (the paper's preempted thread; for watching reclamation lag)")
 		stallFor    = flag.Duration("stallfor", 2*time.Second, "how long each injected stall pins its reservation")
@@ -105,6 +108,7 @@ func main() {
 		cfg.Obs = &obs.Options{
 			RingSize:       *obsRing,
 			SampleEvery:    *obsSample,
+			TraceEvery:     *obsTrace,
 			StallThreshold: *stallThresh,
 		}
 	}
@@ -123,6 +127,7 @@ func main() {
 		// flight-recorder dump ride alongside.
 		http.Handle("/metrics", server.MetricsHandler(eng, srv))
 		http.Handle("/debug/flightrecorder", server.FlightRecorderHandler(eng))
+		http.Handle("/debug/trace", server.TraceHandler(eng))
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "ibrd: debug http:", err)
@@ -145,6 +150,7 @@ func main() {
 				if err := rec.WriteJSONL(os.Stderr); err != nil {
 					fmt.Fprintln(os.Stderr, "ibrd: flight dump:", err)
 				}
+				eng.WriteCausalSummary(os.Stderr)
 			}
 		}()
 	}
@@ -182,8 +188,10 @@ func main() {
 		fmt.Printf("ibrd: degradation: %d tid quarantines, %d submits shed, %d worker deaths\n",
 			quarantines, shed, deaths)
 	}
-	// Final telemetry snapshot for post-mortems: the same exposition /metrics
-	// served, frozen at quiescence.
+	// Final telemetry snapshot for post-mortems: the causal summary (scan
+	// phases, pinned-memory blame) and the same exposition /metrics served,
+	// frozen at quiescence.
+	eng.WriteCausalSummary(os.Stderr)
 	fmt.Fprintln(os.Stderr, "ibrd: final metrics snapshot:")
 	if err := eng.WriteMetrics(os.Stderr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "ibrd: metrics snapshot:", err)

@@ -8,6 +8,13 @@
 // per connection, 32 outstanding requests overall) for 2 seconds and
 // prints Mops/s plus separate read (GET) and write (PUT/DEL) p50/p95/p99
 // lines from the merged per-issuer histograms.
+//
+// Every measured request carries a unique causal trace ID on the wire
+// (issuer slot in the high half, per-issuer sequence in the low), and the
+// exit summary names the slowest request of each one-second window by its
+// trace ID — paste it into the /debug/trace timeline (or an ibrtrace
+// capture) to see what the server's reclamation machinery was doing while
+// that request executed.
 package main
 
 import (
@@ -75,11 +82,18 @@ func main() {
 	// Reads (GET) and writes (PUT/DEL) go to separate histograms: a write's
 	// retire/scan work rides its latency tail, so mixing the classes hides
 	// exactly the effect the reclamation schemes differ in.
+	// slowOp remembers the worst request of a one-second window and the
+	// wire trace ID it carried.
+	type slowOp struct {
+		lat   time.Duration
+		trace uint64
+	}
 	type issuerOut struct {
 		readHist, writeHist  harness.LatencyHist
 		ok, notFound, exists uint64
 		busy, protoErr       uint64
 		shed, timeouts       uint64 // non-fatal: retries exhausted / deadline hit
+		slow                 []slowOp
 		err                  error
 	}
 	var (
@@ -95,6 +109,7 @@ func main() {
 				defer wg.Done()
 				out := &outs[slot]
 				rng := rand.New(rand.NewSource(*seed + int64(slot)*7919 + 1))
+				var seq uint64
 				for !stop.Load() {
 					key := rng.Uint64() % *keyRange
 					op := server.OpPut
@@ -110,7 +125,12 @@ func main() {
 					} else if rng.Intn(2) == 0 {
 						op = server.OpDel
 					}
-					ctx := context.Background()
+					// Trace IDs are slot<<32|seq: unique across the run,
+					// and a hex ID read off the exit summary decodes by
+					// eye back to which issuer sent it.
+					seq++
+					trace := uint64(slot+1)<<32 | seq
+					ctx := server.WithTraceID(context.Background(), trace)
 					var cancel context.CancelFunc
 					if *timeout > 0 {
 						ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -137,10 +157,19 @@ func main() {
 							return
 						}
 					}
+					lat := time.Since(t0)
 					if op == server.OpGet {
-						out.readHist.Record(time.Since(t0))
+						out.readHist.Record(lat)
 					} else {
-						out.writeHist.Record(time.Since(t0))
+						out.writeHist.Record(lat)
+					}
+					if w := int(t0.Sub(start) / time.Second); w >= 0 {
+						for len(out.slow) <= w {
+							out.slow = append(out.slow, slowOp{})
+						}
+						if lat > out.slow[w].lat {
+							out.slow[w] = slowOp{lat: lat, trace: trace}
+						}
 					}
 					switch resp.Status {
 					case server.StatusOK:
@@ -175,6 +204,14 @@ func main() {
 		total.protoErr += o.protoErr
 		total.shed += o.shed
 		total.timeouts += o.timeouts
+		for w, s := range o.slow {
+			for len(total.slow) <= w {
+				total.slow = append(total.slow, slowOp{})
+			}
+			if s.lat > total.slow[w].lat {
+				total.slow[w] = s
+			}
+		}
 		if o.err != nil && total.err == nil {
 			total.err = o.err
 		}
@@ -204,6 +241,15 @@ func main() {
 		}
 		fmt.Printf("  latency %-15s: n=%d p50~%v p95~%v p99~%v\n",
 			c.name, c.h.Count(), c.h.Quantile(0.50), c.h.Quantile(0.95), c.h.Quantile(0.99))
+	}
+	if len(total.slow) > 0 {
+		fmt.Println("  slowest op per second (look the trace ID up on /debug/trace):")
+		for w, s := range total.slow {
+			if s.lat == 0 {
+				continue
+			}
+			fmt.Printf("    [%2ds] %-12v trace=0x%016x\n", w, s.lat.Round(time.Microsecond), s.trace)
+		}
 	}
 	if total.err != nil || total.protoErr > 0 {
 		fmt.Fprintf(os.Stderr, "ibrload: %d protocol errors, first transport error: %v\n", total.protoErr, total.err)

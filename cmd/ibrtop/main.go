@@ -331,8 +331,14 @@ func parseSample(line string) (sample, error) {
 					switch line[i] {
 					case 'n':
 						val = append(val, '\n')
-					default:
+					case '\\', '"':
 						val = append(val, line[i])
+					default:
+						// The text format defines exactly three escapes
+						// (\n, \\, \"); anything else is a literal
+						// backslash followed by that byte. Dropping the
+						// backslash here used to corrupt such values.
+						val = append(val, '\\', line[i])
 					}
 				} else {
 					val = append(val, line[i])
@@ -356,7 +362,14 @@ func parseSample(line string) (sample, error) {
 	for i < len(line) && line[i] == ' ' {
 		i++
 	}
-	v, err := strconv.ParseFloat(line[i:], 64)
+	// The value token ends at the next space: the format allows an optional
+	// trailing millisecond timestamp ("name 1 1712345678901"), which this
+	// reader ignores rather than choking on.
+	j := i
+	for j < len(line) && line[j] != ' ' {
+		j++
+	}
+	v, err := strconv.ParseFloat(line[i:j], 64)
 	if err != nil {
 		return s, fmt.Errorf("bad value in %q: %w", line, err)
 	}

@@ -49,6 +49,41 @@ ibr_op_latency_ns_bucket{op="get",le="+Inf"} 40
 	}
 }
 
+// TestParseSampleLabelEscaping pins the text-format corner cases down:
+// spaces inside label values, escaped quotes and backslashes, unknown
+// escape pairs (which must keep their backslash, not drop it), and the
+// optional trailing timestamp the exposition format permits.
+func TestParseSampleLabelEscaping(t *testing.T) {
+	for _, tc := range []struct {
+		line, label, want string
+		value             float64
+	}{
+		{`m{v="hello world"} 1`, "v", "hello world", 1},
+		{`m{v="two  spaces and } brace"} 2`, "v", "two  spaces and } brace", 2},
+		{`m{v="say \"hi\""} 3`, "v", `say "hi"`, 3},
+		{`m{v="C:\\temp"} 4`, "v", `C:\temp`, 4},
+		// \q is not one of the format's three escapes; the backslash
+		// stays.
+		{`m{v="odd\qpair"} 5`, "v", `odd\qpair`, 5},
+		{`m{v="x"} 6 1712345678901`, "v", "x", 6},
+		{`m 7 1712345678901`, "", "", 7},
+	} {
+		s, err := parseSample(tc.line)
+		if err != nil {
+			t.Errorf("parseSample(%q): %v", tc.line, err)
+			continue
+		}
+		if tc.label != "" {
+			if got := s.labels[tc.label]; got != tc.want {
+				t.Errorf("parseSample(%q) label %s = %q, want %q", tc.line, tc.label, got, tc.want)
+			}
+		}
+		if s.value != tc.value {
+			t.Errorf("parseSample(%q) value = %v, want %v", tc.line, s.value, tc.value)
+		}
+	}
+}
+
 func TestParseMetricsMalformed(t *testing.T) {
 	for _, in := range []string{
 		"no_value\n",

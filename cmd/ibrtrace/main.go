@@ -1,0 +1,157 @@
+// Command ibrtrace captures or converts causal reclamation traces into the
+// Perfetto / chrome://tracing JSON format (load the output at
+// https://ui.perfetto.dev or chrome://tracing).
+//
+// Two modes, exactly one required:
+//
+//	ibrtrace -http 127.0.0.1:4101 -o trace.json
+//	    capture: fetch /debug/trace from a running ibrd's debug HTTP
+//	    listener. The daemon does the encoding; this mode is a convenience
+//	    wrapper so recipes need no curl incantation.
+//
+//	ibrtrace -jsonl flight.jsonl -o trace.json
+//	    convert: re-encode a flight-recorder JSONL dump (saved earlier from
+//	    /debug/flightrecorder or a SIGQUIT stderr capture) offline. The
+//	    header line and any unknown kinds are skipped, so a raw SIGQUIT
+//	    capture with surrounding log lines still converts.
+//
+// -o defaults to stdout ("-").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ibr/internal/obs"
+)
+
+// jsonlEvent mirrors the flight recorder's JSONL line shape (obs.jsonEvent):
+// an obs.Event plus the kind rendered as a string.
+type jsonlEvent struct {
+	Ring  int    `json:"ring"`
+	Pos   uint64 `json:"pos"`
+	TS    uint64 `json:"ts_ns"`
+	Kind  string `json:"kind"`
+	Tid   int    `json:"tid"`
+	Epoch uint64 `json:"epoch"`
+	Value uint64 `json:"value"`
+}
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "", "capture: ibrd debug HTTP address (host:port or URL) to fetch /debug/trace from")
+		jsonl    = flag.String("jsonl", "", "convert: flight-recorder JSONL dump file to re-encode ('-' for stdin)")
+		out      = flag.String("o", "-", "output file for the Perfetto JSON ('-' for stdout)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "HTTP capture timeout")
+	)
+	flag.Parse()
+
+	if (*httpAddr == "") == (*jsonl == "") {
+		fmt.Fprintln(os.Stderr, "ibrtrace: exactly one of -http or -jsonl is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	var err error
+	if *httpAddr != "" {
+		err = capture(w, *httpAddr, *timeout)
+	} else {
+		err = convert(w, *jsonl)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibrtrace:", err)
+	os.Exit(1)
+}
+
+// capture streams /debug/trace from a running daemon. addr may be a bare
+// host:port (http:// and the path are filled in) or a full URL.
+func capture(w io.Writer, addr string, timeout time.Duration) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url[strings.Index(url, "://")+3:], "/") {
+		url += "/debug/trace"
+	}
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// convert re-encodes a flight-recorder JSONL dump as a Perfetto trace.
+// Non-JSON lines (log noise around a SIGQUIT capture), the header object,
+// and unknown kinds are skipped rather than fatal.
+func convert(w io.Writer, path string) error {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var events []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] != '{' {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			continue
+		}
+		kind := obs.KindFromString(je.Kind)
+		if kind == 0 {
+			continue // header line or a kind this build does not know
+		}
+		events = append(events, obs.Event{
+			Ring: je.Ring, Pos: je.Pos, TS: je.TS,
+			Kind: kind, Tid: je.Tid, Epoch: je.Epoch, Value: je.Value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no flight-recorder events found", path)
+	}
+	return obs.WriteTrace(w, events)
+}

@@ -224,6 +224,7 @@ type threadState struct {
 	scratch      []uint64      // scan scratch (HP address / HE era snapshot)
 	sum          resSummary    // scan scratch (reservation summary)
 	freeScratch  []mem.Handle  // scan scratch (blocks to free in one batch)
+	blame        []uint64      // scan scratch (kept blocks per witness tid, obs only)
 	scans        atomic.Uint64 // retire-list scans executed
 	scanned      atomic.Uint64 // conflict tests run across all scans
 	freed        atomic.Uint64 // blocks reclaimed by scans
@@ -410,6 +411,11 @@ func (b *base) allocEpochs(tid int, drain func(int)) mem.Handle {
 	birth := b.clock.Now()
 	b.mem.SetBirth(h, birth)
 	b.obs.Alloc(tid, birth)
+	if b.obs.Enabled() {
+		if si, ok := h.Slot(); ok {
+			b.obs.BlockAlloc(tid, si, birth)
+		}
+	}
 	return h
 }
 
@@ -431,6 +437,11 @@ func (b *base) allocPlain(tid int, drain func(int)) mem.Handle {
 		}
 	}
 	b.obs.Alloc(tid, 0)
+	if b.obs.Enabled() {
+		if si, ok := h.Slot(); ok {
+			b.obs.BlockAlloc(tid, si, 0)
+		}
+	}
 	return h
 }
 
@@ -463,6 +474,11 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 	ts.store.add(h, b.mem.Birth(h), e, b.bucketShift)
 	ts.unreclaimed.Store(int64(ts.store.count))
 	b.obs.Retire(tid, e, ts.store.count)
+	if b.obs.Enabled() {
+		if si, ok := h.Slot(); ok {
+			b.obs.BlockRetire(tid, si, e)
+		}
+	}
 	ts.retireCount++
 	ts.sinceAdvance++
 	if ts.sinceAdvance >= uint64(b.opts.EpochFreq) {
@@ -588,19 +604,27 @@ func (b *base) finishScan(tid int, free []mem.Handle, whole [][]mem.Handle, exam
 			age := now - b.mem.RetireEpoch(h)
 			ages[obs.BucketOf(age)]++
 			sum += age
+			if si, ok := h.Slot(); ok {
+				b.obs.BlockFree(tid, si, age)
+			}
 		}
 		for _, hs := range whole {
 			for _, h := range hs {
 				age := now - b.mem.RetireEpoch(h)
 				ages[obs.BucketOf(age)]++
 				sum += age
+				if si, ok := h.Slot(); ok {
+					b.obs.BlockFree(tid, si, age)
+				}
 			}
 		}
 		b.obs.FreeAgeBatch(&ages, sum)
 		b.obs.ScanEnd(tid, t0, int(examined), freed)
 	}
 	if freed > 0 {
+		tf := b.obs.PhaseStart()
 		b.mem.FreeBatches(tid, append(whole, free)...)
+		b.obs.PhaseEnd(obs.PhaseFreeBatch, tf)
 	}
 }
 
@@ -623,6 +647,7 @@ func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 	free := ts.freeScratch[:0]
 	var whole [][]mem.Handle
 	var examined, bFrees uint64
+	tSweep := b.obs.PhaseStart()
 	out := st.buckets[:0]
 	for bi := range st.buckets {
 		bk := &st.buckets[bi]
@@ -652,9 +677,22 @@ func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 	}
 	st.buckets = out
 	st.hint = 0
+	b.obs.PhaseEnd(obs.PhaseResidualSweep, tSweep)
 	ts.scanned.Add(examined)
 	ts.bucketFrees.Add(bFrees)
 	b.obs.ScanBuckets(tid, 0, bFrees)
+	if b.obs.Enabled() {
+		// EBR-style blame: the kept suffix is pinned by exactly the
+		// reservation holding the minimum lower endpoint (maxSafe's argmin) —
+		// one charge for the whole backlog, the suffix is never walked.
+		blame := b.blameScratch(tid)
+		if st.count > 0 {
+			if w, lo := b.res.MinLowerSlot(); lo != epoch.None {
+				charge(blame, w, uint64(st.count))
+			}
+		}
+		b.obs.PinBlame(tid, blame)
+	}
 	ts.freeScratch = free
 	b.finishScan(tid, free, whole, examined, t0)
 }
@@ -664,8 +702,13 @@ func (b *base) scanRetiredBefore(tid int, maxSafe uint64) {
 // birth <= hi && retire >= lo. The snapshot is taken once per scan; each
 // interval was published by its thread, and any thread that read a pointer
 // to a scanned block before its retirement had already published a covering
-// interval, so a snapshot sees it.
-type interval struct{ lo, hi uint64 }
+// interval, so a snapshot sees it. tid remembers the reserving thread for
+// pinned-memory blame attribution (kept blocks are charged to the witness
+// interval's tid); it plays no part in the conflict test itself.
+type interval struct {
+	lo, hi uint64
+	tid    int32
+}
 
 func (b *base) snapshotIntervals(buf []interval) []interval {
 	buf = buf[:0]
@@ -675,7 +718,7 @@ func (b *base) snapshotIntervals(buf []interval) []interval {
 		if lo == epoch.None && hi == epoch.None {
 			continue
 		}
-		buf = append(buf, interval{lo, hi})
+		buf = append(buf, interval{lo, hi, int32(i)})
 	}
 	return buf
 }
@@ -710,9 +753,11 @@ func conflicts(ivs []interval, birth, retire uint64) bool {
 type resSummary struct {
 	ivs      []interval
 	prefHi   []uint64
-	minLower uint64 // epoch.None when no reservation is published
-	winLo    uint64 // protected window; winLo > winHi when empty
+	prefIdx  []int32 // index into ivs achieving prefHi[i] (blame witness)
+	minLower uint64  // epoch.None when no reservation is published
+	winLo    uint64  // protected window; winLo > winHi when empty
 	winHi    uint64
+	winTid   int32 // tid of the window's interval; -1 when the window is empty
 }
 
 // build digests the snapshot (the slice is retained and re-sorted in
@@ -721,15 +766,20 @@ func (s *resSummary) build(ivs []interval) {
 	s.ivs = ivs
 	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
 	s.prefHi = s.prefHi[:0]
+	s.prefIdx = s.prefIdx[:0]
 	maxHi := uint64(0)
-	for _, iv := range ivs {
+	maxIdx := int32(0)
+	for i, iv := range ivs {
 		if iv.hi > maxHi {
 			maxHi = iv.hi
+			maxIdx = int32(i)
 		}
 		s.prefHi = append(s.prefHi, maxHi)
+		s.prefIdx = append(s.prefIdx, maxIdx)
 	}
 	s.minLower = epoch.None
 	s.winLo, s.winHi = 1, 0 // empty window
+	s.winTid = -1
 	if len(ivs) == 0 {
 		return
 	}
@@ -738,6 +788,7 @@ func (s *resSummary) build(ivs []interval) {
 	for _, iv := range ivs { // smallest lo among intervals reaching maxHi
 		if iv.hi == maxHi {
 			s.winLo = iv.lo
+			s.winTid = iv.tid
 			break
 		}
 	}
@@ -755,11 +806,54 @@ func (s *resSummary) conflicts(birth, retire uint64) bool {
 	return j > 0 && s.prefHi[j-1] >= birth
 }
 
+// witness returns the tid the summarized conflict test certifies
+// conflicts(birth, retire) with — the max-upper interval among those with
+// lo <= retire — or -1 when there is no conflict. This is the
+// blame-charging rule (DESIGN.md §9): a kept block is charged to exactly
+// the reservation the conflict test would name, so a keep-all corner test
+// charges its whole bucket to one witness in O(log |reservations|) and the
+// attribution costs nothing the scan was not already paying.
+func (s *resSummary) witness(birth, retire uint64) int {
+	if retire < s.minLower {
+		return -1
+	}
+	j := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].lo > retire })
+	if j > 0 && s.prefHi[j-1] >= birth {
+		return int(s.ivs[s.prefIdx[j-1]].tid)
+	}
+	return -1
+}
+
 // summarize snapshots the reservation table into tid's summary scratch.
 func (b *base) summarize(tid int) *resSummary {
+	t0 := b.obs.PhaseStart()
 	sum := &b.ts[tid].sum
 	sum.build(b.snapshotIntervals(sum.ivs))
+	b.obs.PhaseEnd(obs.PhaseSummarize, t0)
 	return sum
+}
+
+// blameScratch returns tid's zeroed per-witness blame accumulator, sized to
+// the reservation table. Only the observability-on scan paths allocate it.
+func (b *base) blameScratch(tid int) []uint64 {
+	ts := &b.ts[tid]
+	n := b.res.Len()
+	if cap(ts.blame) < n {
+		ts.blame = make([]uint64, n)
+	}
+	ts.blame = ts.blame[:n]
+	for i := range ts.blame {
+		ts.blame[i] = 0
+	}
+	return ts.blame
+}
+
+// charge adds n kept blocks to witness tid w's blame row (no-op for the
+// blame-off nil slice and the no-witness w = -1).
+func charge(blame []uint64, w int, n uint64) {
+	if blame != nil && w >= 0 && w < len(blame) {
+		blame[w] += n
+	}
 }
 
 // scanSummarized is the interval schemes' and HE's empty(): one summary per
@@ -798,13 +892,22 @@ func (b *base) scanSummarized(tid int, sum *resSummary) {
 	free := ts.freeScratch[:0]
 	var whole [][]mem.Handle
 	var examined, bSkips, bFrees uint64
+	var blame []uint64
+	if b.obs.Enabled() {
+		blame = b.blameScratch(tid)
+	}
 
+	tDecide := b.obs.PhaseStart()
+	swept := false
 	if st.count > 0 {
 		gBLo, gBHi, gRLo, gRHi := st.corners()
 		examined++
 		if sum.conflicts(gBHi, gRLo) {
-			// Store-level keep-all: one reservation covers every block.
+			// Store-level keep-all: one reservation covers every block —
+			// charge the whole backlog to that single witness, O(1).
 			bSkips += uint64(len(st.buckets))
+			charge(blame, sum.witness(gBHi, gRLo), uint64(st.count))
+			b.obs.BucketSkip(tid, gBLo, gBHi)
 		} else {
 			examined++
 			if !sum.conflicts(gBLo, gRHi) {
@@ -819,22 +922,31 @@ func (b *base) scanSummarized(tid int, sum *resSummary) {
 				st.count = 0
 				st.hint = 0
 			} else {
-				examined = b.sweepBuckets(st, sum, &free, &whole, examined, &bSkips, &bFrees)
+				b.obs.PhaseEnd(obs.PhaseBucketDecide, tDecide)
+				swept = true
+				examined = b.sweepBuckets(tid, st, sum, &free, &whole, examined, &bSkips, &bFrees, blame)
 			}
 		}
+	}
+	if !swept {
+		b.obs.PhaseEnd(obs.PhaseBucketDecide, tDecide)
 	}
 
 	ts.scanned.Add(examined)
 	ts.bucketSkips.Add(bSkips)
 	ts.bucketFrees.Add(bFrees)
 	b.obs.ScanBuckets(tid, bSkips, bFrees)
+	b.obs.PinBlame(tid, blame)
 	ts.freeScratch = free
 	b.finishScan(tid, free, whole, examined, t0)
 }
 
 // sweepBuckets is scanSummarized's per-bucket pass: corner-test each bucket,
 // then sweep block-by-block only the buckets both corner tests fail on.
-func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle, whole *[][]mem.Handle, examined uint64, bSkips, bFrees *uint64) uint64 {
+// blame (nil when observability is off) accumulates kept blocks per witness
+// tid; wholesale keeps charge their single witness in O(1), never a walk.
+func (b *base) sweepBuckets(tid int, st *retireStore, sum *resSummary, free *[]mem.Handle, whole *[][]mem.Handle, examined uint64, bSkips, bFrees *uint64, blame []uint64) uint64 {
+	tSweep := b.obs.PhaseStart()
 	out := st.buckets[:0]
 	for bi := range st.buckets {
 		bk := &st.buckets[bi]
@@ -843,6 +955,8 @@ func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle
 		if sum.conflicts(bk.birthHi, bk.retires[s0]) {
 			// Keep-all corner: one reservation covers the whole bucket.
 			*bSkips++
+			charge(blame, sum.witness(bk.birthHi, bk.retires[s0]), uint64(e-s0))
+			b.obs.BucketSkip(tid, bk.birthLo, bk.birthHi)
 			out = append(out, *bk)
 			continue
 		}
@@ -874,6 +988,7 @@ func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle
 				// or before winHi is kept without a per-block conflict test.
 				q := k + sort.Search(e-k, func(m int) bool { return bk.retires[k+m] > sum.winHi })
 				examined++
+				charge(blame, int(sum.winTid), uint64(q-k))
 				if w != k {
 					copy(bk.handles[w:], bk.handles[k:q])
 					copy(bk.births[w:], bk.births[k:q])
@@ -905,6 +1020,7 @@ func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle
 				*free = append(*free, bk.handles[k:segEnd]...)
 				st.count -= segEnd - k
 			case bk.birthHi <= sum.prefHi[j-1]:
+				charge(blame, int(sum.ivs[sum.prefIdx[j-1]].tid), uint64(segEnd-k))
 				if w != k {
 					copy(bk.handles[w:], bk.handles[k:segEnd])
 					copy(bk.births[w:], bk.births[k:segEnd])
@@ -916,9 +1032,16 @@ func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle
 				st.count -= segEnd - k
 			default:
 				h := sum.prefHi[j-1]
+				wit := int(sum.ivs[sum.prefIdx[j-1]].tid)
 				for m := k; m < segEnd; m++ {
 					examined++
 					if bk.births[m] <= h {
+						charge(blame, wit, 1)
+						if blame != nil {
+							if si, ok := bk.handles[m].Slot(); ok {
+								b.obs.BlockKept(tid, si, wit)
+							}
+						}
 						if w != m {
 							bk.handles[w], bk.births[w], bk.retires[w] = bk.handles[m], bk.births[m], bk.retires[m]
 						}
@@ -941,7 +1064,19 @@ func (b *base) sweepBuckets(st *retireStore, sum *resSummary, free *[]mem.Handle
 	}
 	st.buckets = out
 	st.hint = 0
+	b.obs.PhaseEnd(obs.PhaseResidualSweep, tSweep)
 	return examined
+}
+
+// publishSpan records the publish leg of a traced block's lifecycle span:
+// the handle was stored into a shared pointer. Scheme Write/CAS sites gate
+// the call on s.obs != nil so the store hot path pays one predictable
+// branch when observability is off; the sampling mask inside BlockPublish
+// then drops untraced slots.
+func (b *base) publishSpan(tid int, h mem.Handle) {
+	if si, ok := h.Slot(); ok {
+		b.obs.BlockPublish(tid, si)
+	}
 }
 
 // scanIntervals is the shared empty() of POIBR, TagIBR and 2GEIBR: digest

@@ -49,12 +49,23 @@ func (s *EBR) Read(tid, idx int, p *Ptr) mem.Handle { return p.Raw() }
 // ReadRoot is Read.
 func (s *EBR) ReadRoot(tid, idx int, p *Ptr) mem.Handle { return p.Raw() }
 
-// Write is an uninstrumented store.
-func (s *EBR) Write(tid int, p *Ptr, h mem.Handle) { p.setRaw(h) }
+// Write is an uninstrumented store (plus the traced-span publish hook).
+func (s *EBR) Write(tid int, p *Ptr, h mem.Handle) {
+	p.setRaw(h)
+	if s.obs != nil {
+		s.publishSpan(tid, h)
+	}
+}
 
 // CompareAndSwap is an uninstrumented CAS.
 func (s *EBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
-	return p.bits.CompareAndSwap(uint64(old), uint64(new))
+	if p.bits.CompareAndSwap(uint64(old), uint64(new)) {
+		if s.obs != nil {
+			s.publishSpan(tid, new)
+		}
+		return true
+	}
+	return false
 }
 
 // Drain runs Fig. 2's empty(): free every block retired strictly before

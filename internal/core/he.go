@@ -2,6 +2,7 @@ package core
 
 import (
 	"ibr/internal/mem"
+	"ibr/internal/obs"
 )
 
 // HE is the hazard-eras scheme of Ramalhete and Correia (SPAA '17),
@@ -73,12 +74,23 @@ func (s *HE) Read(tid, idx int, p *Ptr) mem.Handle {
 // ReadRoot is Read.
 func (s *HE) ReadRoot(tid, idx int, p *Ptr) mem.Handle { return s.Read(tid, idx, p) }
 
-// Write is an uninstrumented store.
-func (s *HE) Write(tid int, p *Ptr, h mem.Handle) { p.setRaw(h) }
+// Write is an uninstrumented store (plus the traced-span publish hook).
+func (s *HE) Write(tid int, p *Ptr, h mem.Handle) {
+	p.setRaw(h)
+	if s.obs != nil {
+		s.publishSpan(tid, h)
+	}
+}
 
 // CompareAndSwap is an uninstrumented CAS.
 func (s *HE) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
-	return p.bits.CompareAndSwap(uint64(old), uint64(new))
+	if p.bits.CompareAndSwap(uint64(old), uint64(new)) {
+		if s.obs != nil {
+			s.publishSpan(tid, new)
+		}
+		return true
+	}
+	return false
 }
 
 // Unreserve clears era slot idx.
@@ -89,16 +101,18 @@ func (s *HE) Unreserve(tid, idx int) { s.eras[tid][idx].v.Store(0) }
 // scan reuses the interval summary: "some era in [birth, retire]" becomes
 // "the largest era <= retire is >= birth", one binary search per block.
 func (s *HE) Drain(tid int) {
+	t0 := s.obs.PhaseStart()
 	sum := &s.ts[tid].sum
 	snap := sum.ivs[:0]
 	for t := range s.eras {
 		for i := range s.eras[t] {
 			if v := s.eras[t][i].v.Load(); v != 0 {
-				snap = append(snap, interval{v, v})
+				snap = append(snap, interval{v, v, int32(t)})
 			}
 		}
 	}
 	sum.build(snap)
+	s.obs.PhaseEnd(obs.PhaseSummarize, t0)
 	s.scanSummarized(tid, sum)
 }
 

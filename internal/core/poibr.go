@@ -63,12 +63,23 @@ func (s *POIBR) ReadRoot(tid, idx int, p *Ptr) mem.Handle {
 	}
 }
 
-// Write is an uninstrumented store.
-func (s *POIBR) Write(tid int, p *Ptr, h mem.Handle) { p.setRaw(h) }
+// Write is an uninstrumented store (plus the traced-span publish hook).
+func (s *POIBR) Write(tid int, p *Ptr, h mem.Handle) {
+	p.setRaw(h)
+	if s.obs != nil {
+		s.publishSpan(tid, h)
+	}
+}
 
 // CompareAndSwap is an uninstrumented CAS.
 func (s *POIBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
-	return p.bits.CompareAndSwap(uint64(old), uint64(new))
+	if p.bits.CompareAndSwap(uint64(old), uint64(new)) {
+		if s.obs != nil {
+			s.publishSpan(tid, new)
+		}
+		return true
+	}
+	return false
 }
 
 // Drain runs Fig. 4's empty(): free every block whose lifetime interval

@@ -20,7 +20,7 @@ func TestConflictsMatchesBruteForce_Quick(t *testing.T) {
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			ivs = append(ivs, interval{lo, hi})
+			ivs = append(ivs, interval{lo, hi, 0})
 		}
 		birth := uint64(b16)
 		retire := birth + uint64(len16)

@@ -22,7 +22,7 @@ func TestResSummaryMatchesNaive_Quick(t *testing.T) {
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			ivs = append(ivs, interval{lo, hi})
+			ivs = append(ivs, interval{lo, hi, 0})
 		}
 		birth := uint64(b16)
 		retire := birth + uint64(len16)
@@ -48,15 +48,15 @@ func TestResSummaryEdgeCases(t *testing.T) {
 		want          bool
 	}{
 		{"empty snapshot", nil, 0, epoch.None, false},
-		{"touch at lo", []interval{{5, 9}}, 1, 5, true},
-		{"touch at hi", []interval{{5, 9}}, 9, 20, true},
-		{"just before lo", []interval{{5, 9}}, 1, 4, false},
-		{"just after hi", []interval{{5, 9}}, 10, 20, false},
-		{"open upper (None)", []interval{{5, epoch.None}}, 100, 200, true},
-		{"retire at None", []interval{{5, 9}}, 3, epoch.None, true},
-		{"gap between intervals", []interval{{1, 2}, {8, 9}}, 3, 7, false},
-		{"covered by later interval", []interval{{1, 2}, {8, 9}}, 3, 8, true},
-		{"earlier interval reaches highest", []interval{{1, 100}, {8, 9}}, 50, 200, true},
+		{"touch at lo", []interval{{5, 9, 0}}, 1, 5, true},
+		{"touch at hi", []interval{{5, 9, 0}}, 9, 20, true},
+		{"just before lo", []interval{{5, 9, 0}}, 1, 4, false},
+		{"just after hi", []interval{{5, 9, 0}}, 10, 20, false},
+		{"open upper (None)", []interval{{5, epoch.None, 0}}, 100, 200, true},
+		{"retire at None", []interval{{5, 9, 0}}, 3, epoch.None, true},
+		{"gap between intervals", []interval{{1, 2, 0}, {8, 9, 0}}, 3, 7, false},
+		{"covered by later interval", []interval{{1, 2, 0}, {8, 9, 0}}, 3, 8, true},
+		{"earlier interval reaches highest", []interval{{1, 100, 0}, {8, 9, 0}}, 50, 200, true},
 	}
 	for _, c := range cases {
 		var sum resSummary
@@ -107,7 +107,7 @@ func TestScanSummarizedMatchesNaiveFullScan(t *testing.T) {
 					lo := 1 + rng.Uint64()%200
 					hi := lo + rng.Uint64()%100
 					resOf(s).At(tid).Set(lo, hi)
-					ivs = append(ivs, interval{lo, hi})
+					ivs = append(ivs, interval{lo, hi, 0})
 				}
 
 				type lifetime struct{ birth, retire uint64 }

@@ -243,7 +243,7 @@ func TestScanBucketedMatchesNaiveAcrossAdoption(t *testing.T) {
 					hi := lo + rng.Uint64()%80
 					resOf(s).At(tid).Set(lo, hi)
 					if tid != 4 {
-						ivs = append(ivs, interval{lo, hi})
+						ivs = append(ivs, interval{lo, hi, 0})
 					}
 				}
 

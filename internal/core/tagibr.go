@@ -184,25 +184,37 @@ func (s *TagIBR) ReadRoot(tid, idx int, p *Ptr) mem.Handle { return s.Read(tid, 
 func (s *TagIBR) Write(tid int, p *Ptr, h mem.Handle) {
 	if s.variant == TagWCAS {
 		p.setRaw(s.pack(h))
+		if s.obs != nil {
+			s.publishSpan(tid, h)
+		}
 		return
 	}
 	if s.variant != TagTPA {
 		s.raiseBorn(p, s.birthOf(h))
 	}
 	p.setRaw(h)
+	if s.obs != nil {
+		s.publishSpan(tid, h)
+	}
 }
 
 // CompareAndSwap is Fig. 5's protected_CAS: raise born_before for the new
 // value, then CAS the pointer word. A failed pointer CAS after a successful
 // raise leaves only harmless slack.
 func (s *TagIBR) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
+	var ok bool
 	if s.variant == TagWCAS {
-		return p.bits.CompareAndSwap(uint64(s.pack(old)), uint64(s.pack(new)))
+		ok = p.bits.CompareAndSwap(uint64(s.pack(old)), uint64(s.pack(new)))
+	} else {
+		if s.variant != TagTPA {
+			s.raiseBorn(p, s.birthOf(new))
+		}
+		ok = p.bits.CompareAndSwap(uint64(old), uint64(new))
 	}
-	if s.variant != TagTPA {
-		s.raiseBorn(p, s.birthOf(new))
+	if ok && s.obs != nil {
+		s.publishSpan(tid, new)
 	}
-	return p.bits.CompareAndSwap(uint64(old), uint64(new))
+	return ok
 }
 
 // Drain runs Fig. 5's empty(): free every block whose lifetime intersects

@@ -63,12 +63,23 @@ func (s *TwoGE) Read(tid, idx int, p *Ptr) mem.Handle {
 func (s *TwoGE) ReadRoot(tid, idx int, p *Ptr) mem.Handle { return s.Read(tid, idx, p) }
 
 // Write is an uninstrumented store (Fig. 6: "write and CAS same as in
-// default (no instrumentation)").
-func (s *TwoGE) Write(tid int, p *Ptr, h mem.Handle) { p.setRaw(h) }
+// default (no instrumentation)"), plus the traced-span publish hook.
+func (s *TwoGE) Write(tid int, p *Ptr, h mem.Handle) {
+	p.setRaw(h)
+	if s.obs != nil {
+		s.publishSpan(tid, h)
+	}
+}
 
 // CompareAndSwap is an uninstrumented CAS.
 func (s *TwoGE) CompareAndSwap(tid int, p *Ptr, old, new mem.Handle) bool {
-	return p.bits.CompareAndSwap(uint64(old), uint64(new))
+	if p.bits.CompareAndSwap(uint64(old), uint64(new)) {
+		if s.obs != nil {
+			s.publishSpan(tid, new)
+		}
+		return true
+	}
+	return false
 }
 
 // Drain runs empty() (shared with TagIBR): free every block whose lifetime

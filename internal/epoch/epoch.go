@@ -106,6 +106,20 @@ func (t *Table) MinLower() uint64 {
 	return min
 }
 
+// MinLowerSlot is MinLower returning the argmin too: the slot index holding
+// the smallest reserved lower endpoint and that endpoint (slot 0 and None
+// when every entry is idle). An EBR-style scan's unfree prefix is pinned by
+// exactly this reservation, so the slot is the scan's blame witness.
+func (t *Table) MinLowerSlot() (int, uint64) {
+	slot, min := 0, None
+	for i := range t.res {
+		if lo := t.res[i].lower.Load(); lo < min {
+			min, slot = lo, i
+		}
+	}
+	return slot, min
+}
+
 // Intersects reports whether any published reservation interval intersects
 // the block lifetime [birth, retire] — the conflict test of Fig. 5 line 26:
 // protected iff birth ≤ res.upper && retire ≥ res.lower.

@@ -71,6 +71,35 @@ const (
 	// Value = buckets freed wholesale). Recorded only when either is
 	// non-zero.
 	KindBucketScan
+	// KindBlockAlloc: a traced block's lifecycle span began (Value = the
+	// block's pool slot index, Epoch = birth epoch, 0 for the epoch-free
+	// schemes). Block spans are selected deterministically by slot index
+	// (see Options.TraceEvery), so a given block is either fully traced or
+	// fully absent.
+	KindBlockAlloc
+	// KindBlockPublish: a traced block's handle was stored into a shared
+	// pointer — the block became reachable (Value = slot index).
+	KindBlockPublish
+	// KindBlockRetire: a traced block was retired (Value = slot index,
+	// Epoch = retire epoch).
+	KindBlockRetire
+	// KindBlockKept: a scan examined a traced block individually and kept
+	// it because a reservation interval pinned it (Value = slot index,
+	// Epoch = the witness reservation's tid).
+	KindBlockKept
+	// KindBlockFree: a traced block was reclaimed (Value = slot index,
+	// Epoch = its retire→free age in epochs).
+	KindBlockFree
+	// KindBucketSkip: a scan kept a whole retire bucket on one corner test
+	// (Epoch = the bucket's lowest birth epoch, Value = its highest).
+	// Traced blocks retired into the bucket stay pinned without per-block
+	// events — the skip marker is their "examined wholesale" record, kept
+	// O(1) per bucket so stalls never degrade scans back to backlog walks.
+	KindBucketSkip
+	// KindOp: a traced request executed on a serving worker (Value = the
+	// wire trace ID, Epoch = execution duration in nanoseconds; TS is the
+	// end time). Joins a client-chosen trace ID to the shard timeline.
+	KindOp
 )
 
 func (k Kind) String() string {
@@ -93,8 +122,34 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindBucketScan:
 		return "bucket_scan"
+	case KindBlockAlloc:
+		return "block_alloc"
+	case KindBlockPublish:
+		return "block_publish"
+	case KindBlockRetire:
+		return "block_retire"
+	case KindBlockKept:
+		return "block_kept"
+	case KindBlockFree:
+		return "block_free"
+	case KindBucketSkip:
+		return "bucket_skip"
+	case KindOp:
+		return "op"
 	}
 	return "unknown"
+}
+
+// KindFromString parses a JSONL kind name back to its Kind; 0 for unknown
+// names (including the dump's "header" line). cmd/ibrtrace uses it to
+// re-encode flight-recorder dumps offline.
+func KindFromString(s string) Kind {
+	for k := KindAlloc; k <= KindOp; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
 }
 
 // Event is one decoded flight-recorder entry. The Epoch and Value fields
@@ -121,6 +176,13 @@ type Options struct {
 	// batches, epoch advances and stalls are always recorded — they are
 	// orders of magnitude rarer than operations.
 	SampleEvery int
+	// TraceEvery selects which block-lifecycle spans the flight recorder
+	// traces: a block whose pool slot index is ≡ 0 (mod TraceEvery) records
+	// alloc/publish/retire/kept/free span events (default 64, rounded up to
+	// a power of two; 1 traces every block). Selecting by slot index is
+	// deterministic — the same block is traced across every reuse of its
+	// slot, never half a lifecycle.
+	TraceEvery int
 	// StallThreshold is how long a reservation may stay unchanged before
 	// the watchdog raises a stall alert (default 1s).
 	StallThreshold time.Duration
@@ -135,6 +197,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.SampleEvery <= 0 {
 		o.SampleEvery = 64
+	}
+	if o.TraceEvery <= 0 {
+		o.TraceEvery = 64
 	}
 	if o.StallThreshold <= 0 {
 		o.StallThreshold = time.Second

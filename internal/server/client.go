@@ -40,6 +40,7 @@ type reqFrame struct {
 	id       uint32
 	op       Op
 	key, val uint64
+	trace    uint64 // wire trace ID from WithTraceID (0 = untraced)
 }
 
 type result struct {
@@ -132,12 +133,12 @@ func (c *Client) writeLoop() {
 		case <-c.done:
 			return
 		}
-		buf = appendRequest(buf[:0], r.id, r.op, r.key, r.val)
+		buf = appendRequest(buf[:0], r.id, r.op, r.key, r.val, r.trace)
 	coalesce:
 		for len(buf) < 16*1024 {
 			select {
 			case r = <-c.reqs:
-				buf = appendRequest(buf, r.id, r.op, r.key, r.val)
+				buf = appendRequest(buf, r.id, r.op, r.key, r.val, r.trace)
 			default:
 				break coalesce
 			}
@@ -199,7 +200,8 @@ func (c *Client) fail(err error) {
 // context's (the call was abandoned; the connection is fine and the client
 // remains usable) or a transport error (the connection is broken and every
 // future call fails the same way). Protocol outcomes like StatusNotFound
-// are returned in Resp, not as errors.
+// are returned in Resp, not as errors. A trace ID attached to ctx with
+// WithTraceID rides the request frame to the serving worker.
 func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, error) {
 	if err := ctx.Err(); err != nil {
 		return Resp{}, err
@@ -228,7 +230,7 @@ func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, e
 	c.pmu.Unlock()
 
 	select {
-	case c.reqs <- reqFrame{id: id, op: op, key: key, val: val}:
+	case c.reqs <- reqFrame{id: id, op: op, key: key, val: val, trace: TraceIDFrom(ctx)}:
 	case <-c.done:
 		// The client failed while we were enqueueing; fail() has already
 		// delivered the error to ch (we registered before selecting).

@@ -169,6 +169,7 @@ type Resp struct {
 type request struct {
 	op       Op
 	key, val uint64
+	trace    uint64 // wire trace ID; non-zero requests record op spans
 	done     func(Resp)
 }
 
@@ -476,6 +477,14 @@ func shardFor(key uint64, n int) int {
 // ErrClosed, ErrBusy, or ErrShedding, the operation was rejected and done
 // is never called. done must not block.
 func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
+	return e.SubmitTraced(op, key, val, 0, done)
+}
+
+// SubmitTraced is Submit carrying a causal trace ID: when observability is
+// on and trace is non-zero, the worker that executes the request records an
+// op span under the ID into its flight-recorder ring, so the request shows
+// up on /debug/trace next to the shard's scan and block-lifecycle spans.
+func (e *Engine) SubmitTraced(op Op, key, val, trace uint64, done func(Resp)) error {
 	if !op.valid() {
 		return fmt.Errorf("server: invalid op %d", op)
 	}
@@ -484,7 +493,7 @@ func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
 		sh.shed.Add(1)
 		return ErrShedding
 	}
-	return sh.q.push(request{op: op, key: key, val: val, done: done})
+	return sh.q.push(request{op: op, key: key, val: val, trace: trace, done: done})
 }
 
 // Do runs one operation synchronously; tests and simple callers.
@@ -559,7 +568,11 @@ func (e *Engine) worker(sh *shard, tid int, gen uint64) {
 				if li := latIndex(r.op); li >= 0 {
 					t0 := obs.Now()
 					resp = e.exec(sh, tid, r)
-					eo.opLat[li].Record(obs.Now() - t0)
+					d := obs.Now() - t0
+					eo.opLat[li].Record(d)
+					if r.trace != 0 {
+						eo.opEvent(sh.idx, tid, r.trace, d)
+					}
 				} else {
 					resp = e.exec(sh, tid, r)
 				}

@@ -46,6 +46,7 @@ type EngineObs struct {
 	retireAge    []*obs.Hist      // per shard
 	scanDur      *obs.Hist
 	freeBatch    *obs.Hist
+	phases       *obs.ScanPhases // scan-phase breakdown, shared across shards
 	opLat        [latKinds]*obs.Hist
 	watchdog     *obs.Watchdog
 }
@@ -63,6 +64,7 @@ func newEngineObs(o obs.Options, shards, workers int) *EngineObs {
 		retireAge:    make([]*obs.Hist, shards),
 		scanDur:      &obs.Hist{},
 		freeBatch:    &obs.Hist{},
+		phases:       &obs.ScanPhases{},
 	}
 	for i := range eo.opLat {
 		eo.opLat[i] = &obs.Hist{}
@@ -77,6 +79,8 @@ func newEngineObs(o obs.Options, shards, workers int) *EngineObs {
 			ScanDur:     eo.scanDur,
 			FreeBatch:   eo.freeBatch,
 			SampleEvery: o.SampleEvery,
+			TraceEvery:  o.TraceEvery,
+			Phases:      eo.phases,
 		})
 	}
 	return eo
@@ -139,6 +143,16 @@ func (eo *EngineObs) quarantineEvent(shard, workerTid, quarantinedTid int, epoch
 	eo.rec.Record(shard*eo.tidsPerShard+workerTid, obs.KindQuarantine, quarantinedTid, epoch, adopted)
 }
 
+// opEvent records a traced request's execution into the executing worker's
+// own ring (single-writer, like quarantineEvent), joining the wire trace ID
+// to the shard's reclamation timeline.
+func (eo *EngineObs) opEvent(shard, workerTid int, trace, durNs uint64) {
+	if eo == nil {
+		return
+	}
+	eo.rec.Record(shard*eo.tidsPerShard+workerTid, obs.KindOp, workerTid, durNs, trace)
+}
+
 // stop halts the watchdog (the recorder and histograms are passive).
 func (eo *EngineObs) stop() {
 	if eo == nil || eo.watchdog == nil {
@@ -179,4 +193,31 @@ func (eo *EngineObs) RetireAge(i int) obs.HistSnapshot {
 		return obs.HistSnapshot{}
 	}
 	return eo.retireAge[i].Snapshot()
+}
+
+// ScanPhase snapshots phase p of the engine-wide scan-phase timing
+// breakdown (obs.Phase* order, matching obs.PhaseNames).
+func (eo *EngineObs) ScanPhase(p int) obs.HistSnapshot {
+	if eo == nil {
+		return obs.HistSnapshot{}
+	}
+	return eo.phases[p].Snapshot()
+}
+
+// PinnedBlame returns shard i's pinned-memory blame attribution, most
+// pinned first (empty when observability is off).
+func (eo *EngineObs) PinnedBlame(i int) []obs.PinStat {
+	if eo == nil {
+		return nil
+	}
+	return eo.scheme[i].PinnedBlame()
+}
+
+// Shards returns the number of shard observers (0 when observability is
+// off); the per-shard accessors accept indices below it.
+func (eo *EngineObs) Shards() int {
+	if eo == nil {
+		return 0
+	}
+	return len(eo.scheme)
 }

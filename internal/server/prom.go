@@ -133,6 +133,35 @@ func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
 		for i, h := range eo.opLat {
 			p.Histogram("ibr_op_latency_ns", []obs.Label{{K: "op", V: latNames[i]}}, h.Snapshot())
 		}
+		p.Header("ibr_scan_phase_ns", "histogram", "Scan wall time by phase: summarize, bucket_decide, residual_sweep, free_batch.")
+		for ph := 0; ph < obs.NumScanPhases; ph++ {
+			p.Histogram("ibr_scan_phase_ns", []obs.Label{{K: "phase", V: obs.PhaseNames[ph]}}, eo.phases[ph].Snapshot())
+		}
+
+		// Pinned-memory blame: who is responsible for the unreclaimed
+		// backlog right now. Top-k per shard keeps the scrape bounded while
+		// still naming every meaningful pinner (k > the handful of
+		// concurrently stalled tids any recipe injects).
+		const blameTopK = 8
+		blame := make([][]obs.PinStat, len(eo.scheme))
+		for i := range eo.scheme {
+			blame[i] = eo.scheme[i].PinnedBlame()
+			if len(blame[i]) > blameTopK {
+				blame[i] = blame[i][:blameTopK]
+			}
+		}
+		p.Header("ibr_pinned_blocks", "gauge", "Retired-but-unreclaimed blocks charged to the reservation-holding tid that pinned them at the latest scans (top-k per shard).")
+		for i, top := range blame {
+			for _, ps := range top {
+				p.Uint("ibr_pinned_blocks", append(shardLabel[i], obs.Label{K: "tid", V: strconv.Itoa(ps.Tid)}), ps.Blocks)
+			}
+		}
+		p.Header("ibr_pin_age_seconds", "gauge", "How long each blamed tid has been continuously pinning memory.")
+		for i, top := range blame {
+			for _, ps := range top {
+				p.Sample("ibr_pin_age_seconds", append(shardLabel[i], obs.Label{K: "tid", V: strconv.Itoa(ps.Tid)}), ps.Age.Seconds())
+			}
+		}
 
 		if wd := eo.watchdog; wd != nil {
 			p.Header("ibr_stall_alerts_total", "counter", "Stall alerts raised (reservation unchanged past the threshold).")

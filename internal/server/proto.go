@@ -98,16 +98,21 @@ func (s Status) String() string {
 // Frame layout. Every frame is a 4-byte big-endian payload length followed
 // by the payload. Payloads are fixed-size per direction:
 //
-//	request:  id uint32 | op uint8  | key uint64 | val uint64   (21 bytes)
-//	response: id uint32 | st uint8  | val uint64                (13 bytes)
+//	request:  id uint32 | op uint8  | key uint64 | val uint64 | trace uint64  (29 bytes)
+//	response: id uint32 | st uint8  | val uint64                             (13 bytes)
 //
 // id is a connection-scoped request identifier chosen by the client; the
 // server echoes it, so responses may complete out of order and clients can
-// pipeline arbitrarily deep. The explicit length prefix (rather than bare
-// fixed frames) keeps the protocol evolvable and lets both ends reject a
-// desynchronized stream immediately.
+// pipeline arbitrarily deep. trace is a client-chosen causal trace ID
+// (0 = untraced): the worker executing a traced request records an op span
+// under the ID in its flight-recorder ring, so the request joins its
+// shard's reclamation timeline on /debug/trace (see WithTraceID). The
+// explicit length prefix (rather than bare fixed frames) keeps the protocol
+// evolvable — growing the request payload for the trace field was exactly
+// such an evolution — and lets both ends reject a desynchronized stream
+// immediately.
 const (
-	reqPayloadLen  = 21
+	reqPayloadLen  = 29
 	respPayloadLen = 13
 	// maxFrame bounds any announced payload length; longer prefixes mean a
 	// desynchronized or hostile stream.
@@ -115,12 +120,13 @@ const (
 )
 
 // appendRequest appends one encoded request frame to b.
-func appendRequest(b []byte, id uint32, op Op, key, val uint64) []byte {
+func appendRequest(b []byte, id uint32, op Op, key, val, trace uint64) []byte {
 	b = binary.BigEndian.AppendUint32(b, reqPayloadLen)
 	b = binary.BigEndian.AppendUint32(b, id)
 	b = append(b, byte(op))
 	b = binary.BigEndian.AppendUint64(b, key)
-	return binary.BigEndian.AppendUint64(b, val)
+	b = binary.BigEndian.AppendUint64(b, val)
+	return binary.BigEndian.AppendUint64(b, trace)
 }
 
 // appendResponse appends one encoded response frame to b.
@@ -154,11 +160,12 @@ func readFrame(r *bufio.Reader, want int, buf []byte) ([]byte, error) {
 }
 
 // parseRequest decodes a request payload (length already validated).
-func parseRequest(p []byte) (id uint32, op Op, key, val uint64) {
+func parseRequest(p []byte) (id uint32, op Op, key, val, trace uint64) {
 	id = binary.BigEndian.Uint32(p[0:4])
 	op = Op(p[4])
 	key = binary.BigEndian.Uint64(p[5:13])
 	val = binary.BigEndian.Uint64(p[13:21])
+	trace = binary.BigEndian.Uint64(p[21:29])
 	return
 }
 

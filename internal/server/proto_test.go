@@ -13,15 +13,16 @@ func TestProtoRequestRoundTrip(t *testing.T) {
 		id       uint32
 		op       Op
 		key, val uint64
+		trace    uint64
 	}
 	reqs := []req{
-		{0, OpPing, 0, 42},
-		{1, OpGet, 7, 0},
-		{2, OpPut, ^uint64(0), ^uint64(0)},
-		{4294967295, OpDel, 1 << 61, 3},
+		{0, OpPing, 0, 42, 0},
+		{1, OpGet, 7, 0, 0xDEADBEEF},
+		{2, OpPut, ^uint64(0), ^uint64(0), ^uint64(0)},
+		{4294967295, OpDel, 1 << 61, 3, 1},
 	}
 	for _, r := range reqs {
-		wire = appendRequest(wire, r.id, r.op, r.key, r.val)
+		wire = appendRequest(wire, r.id, r.op, r.key, r.val, r.trace)
 	}
 	br := bufio.NewReader(bytes.NewReader(wire))
 	buf := make([]byte, reqPayloadLen)
@@ -30,9 +31,9 @@ func TestProtoRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("readFrame: %v", err)
 		}
-		id, op, key, val := parseRequest(p)
-		if id != want.id || op != want.op || key != want.key || val != want.val {
-			t.Fatalf("got (%d %v %d %d), want %+v", id, op, key, val, want)
+		id, op, key, val, trace := parseRequest(p)
+		if id != want.id || op != want.op || key != want.key || val != want.val || trace != want.trace {
+			t.Fatalf("got (%d %v %d %d %d), want %+v", id, op, key, val, trace, want)
 		}
 	}
 	if _, err := readFrame(br, reqPayloadLen, buf); err == nil {

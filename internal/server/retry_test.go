@@ -34,7 +34,7 @@ func startFakeServer(t *testing.T, handle func(id uint32, op Op, key, val uint64
 					if err != nil {
 						return
 					}
-					id, op, key, val := parseRequest(p)
+					id, op, key, val, _ := parseRequest(p)
 					st, v, delay := handle(id, op, key, val)
 					if delay > 0 {
 						time.Sleep(delay)

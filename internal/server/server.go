@@ -242,7 +242,7 @@ func (s *Server) handle(c net.Conn) {
 			}
 			break
 		}
-		id, op, key, val := parseRequest(payload)
+		id, op, key, val, trace := parseRequest(payload)
 		// Reserve a semaphore slot before submitting: at most MaxInflight
 		// responses can ever be queued, so resps never blocks a worker.
 		inflight <- struct{}{}
@@ -256,7 +256,7 @@ func (s *Server) handle(c net.Conn) {
 			s.protoRejected.Add(1)
 			continue
 		}
-		if err := s.eng.Submit(op, key, val, done); err != nil {
+		if err := s.eng.SubmitTraced(op, key, val, trace, done); err != nil {
 			// ErrBusy (queue full) and ErrShedding (unreclaimed backlog
 			// above the hard watermark) are both transient overload: the
 			// client sees StatusBusy and retries with backoff.

@@ -264,8 +264,8 @@ func TestServerRejectsBadOp(t *testing.T) {
 	defer raw.Close()
 	raw.SetDeadline(time.Now().Add(5 * time.Second))
 
-	frame := appendRequest(nil, 7, Op(99), 1, 2)
-	frame = appendRequest(frame, 8, OpPing, 0, 42) // valid op on the same conn
+	frame := appendRequest(nil, 7, Op(99), 1, 2, 0)
+	frame = appendRequest(frame, 8, OpPing, 0, 42, 0) // valid op on the same conn
 	if _, err := raw.Write(frame); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""tracesmoke assertions over a captured Perfetto trace and a /metrics scrape.
+
+Usage: check_trace.py TRACE_JSON METRICS_TXT STALLER_TID
+
+Asserts, exiting non-zero with a diagnostic on the first failure:
+  1. TRACE_JSON parses and holds a non-empty traceEvents array.
+  2. At least one traced block completed a full lifecycle: a "live" slice
+     and a non-truncated "retired" slice on the same blocks-process track
+     (the encoder only emits that pair on a witnessed alloc->retire->free).
+  3. At least one wire-propagated "op" slice with a non-zero trace ID.
+  4. ibr_pinned_blocks charges the plurality of pinned blocks to
+     STALLER_TID, and charges it more than zero.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail(f"usage: {sys.argv[0]} TRACE_JSON METRICS_TXT STALLER_TID")
+    trace_path, metrics_path, staller = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+    with open(trace_path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{trace_path} is not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not events:
+        fail(f"{trace_path} has no traceEvents")
+
+    # The blocks process is pid 2, rings pid 1 (obs/trace.go).
+    lives, completes, ops = set(), set(), 0
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        if ev.get("pid") == 2 and ev.get("name") == "live":
+            lives.add(ev.get("tid"))
+        if (ev.get("pid") == 2 and ev.get("name") == "retired"
+                and not ev.get("args", {}).get("truncated")):
+            completes.add(ev.get("tid"))
+        if (ev.get("pid") == 1 and ev.get("name") == "op"
+                and ev.get("args", {}).get("trace_id", "0x0").strip("0x")):
+            ops += 1
+    full = lives & completes
+    if not full:
+        fail(f"no complete alloc→retire→freed span "
+             f"(live slices on {len(lives)} slots, complete retired on {len(completes)})")
+    if ops == 0:
+        fail("no op spans carrying a wire trace ID")
+
+    pinned = {}
+    pat = re.compile(r'^ibr_pinned_blocks\{[^}]*tid="(-?\d+)"[^}]*\} (\d+(?:\.\d+)?)')
+    with open(metrics_path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                tid = int(m.group(1))
+                pinned[tid] = pinned.get(tid, 0) + float(m.group(2))
+    if not pinned:
+        fail(f"no ibr_pinned_blocks series in {metrics_path}")
+    if pinned.get(staller, 0) <= 0:
+        fail(f"staller tid {staller} pins nothing; table {pinned}")
+    top = max(pinned, key=pinned.get)
+    if top != staller:
+        fail(f"top pinner is tid {top} ({pinned[top]:.0f} blocks), "
+             f"want staller tid {staller}; table {pinned}")
+
+    print(f"check_trace: OK: {len(full)} complete block spans, {ops} traced op spans, "
+          f"staller tid {staller} pins {pinned[staller]:.0f} blocks "
+          f"({100 * pinned[staller] / sum(pinned.values()):.0f}% of charged)")
+
+
+if __name__ == "__main__":
+    main()

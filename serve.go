@@ -1,6 +1,8 @@
 package ibr
 
 import (
+	"context"
+
 	"ibr/internal/mem"
 	"ibr/internal/obs"
 	"ibr/internal/server"
@@ -96,3 +98,13 @@ func NewServer(e *Engine, cfg ServerConfig) *Server { return server.NewServer(e,
 
 // DialServer connects a Client to a served Engine.
 func DialServer(addr string) (*Client, error) { return server.Dial(addr) }
+
+// WithTraceID returns a context carrying a causal trace ID; Client.DoContext
+// sends it in the request frame and the serving worker records the op's
+// execution span under it (see /debug/trace). 0 means untraced.
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return server.WithTraceID(ctx, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx (0 = untraced).
+func TraceIDFrom(ctx context.Context) uint64 { return server.TraceIDFrom(ctx) }
