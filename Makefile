@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lintdebug test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke tracesmoke clean
+.PHONY: all build vet lint lintdebug test testdebug race stress bench benchscan figs plots examples serve loadtest obssmoke chaossmoke tracesmoke rangesmoke clean
 
 all: build vet lint test
 
@@ -184,6 +184,31 @@ tracesmoke:
 	python3 scripts/check_trace.py /tmp/tracesmoke_trace.json /tmp/tracesmoke_metrics.txt 2 && \
 	grep -q 'trace=0x' /tmp/tracesmoke_load.txt && \
 	echo "tracesmoke: complete spans present, blame names the staller tid"
+
+# Range/TTL smoke (see DESIGN.md §10): boot ibrd on the skiplist under an
+# interval scheme and drive the mixed range workload with TTL'd writes.
+# Asserts: (a) every scan validated client-side — sorted, in-bounds, no
+# duplicates; ibrload exits nonzero otherwise — (b) TTL expirations occurred
+# and retired through the normal scheme path (retired_expiry > 0 on
+# /debug/vars, i.e. the expiry wheel feeds Scheme.Retire, not a side
+# channel), (c) retired-but-unreclaimed stayed bounded while scans were in
+# flight (the under-scan high-water mark), and (d) the SIGTERM drain still
+# reaches 0 blocks unreclaimed with expiry traffic in the mix.
+rangesmoke:
+	$(GO) build -o bin/ibrd ./cmd/ibrd
+	$(GO) build -o bin/ibrload ./cmd/ibrload
+	@./bin/ibrd -addr 127.0.0.1:4500 -http 127.0.0.1:4501 -r skiplist -d tagibr \
+	  -shards 4 -workers 2 -remedy-interval 25ms > /tmp/rangesmoke_ibrd.txt & \
+	pid=$$!; sleep 0.5; \
+	./bin/ibrload -addr 127.0.0.1:4500 -c 8 -p 4 -i 3 -m range -span 4096 \
+	  -ttl 300ms > /tmp/rangesmoke_load.txt & load=$$!; \
+	sleep 2.5; curl -sf http://127.0.0.1:4501/debug/vars > /tmp/rangesmoke_vars.json; \
+	wait $$load; rc=$$?; kill -TERM $$pid; wait $$pid; \
+	test $$rc -eq 0 && \
+	grep -q 'ranges: .* scans validated' /tmp/rangesmoke_load.txt && \
+	grep -q ' 0 blocks unreclaimed after final scan' /tmp/rangesmoke_ibrd.txt && \
+	python3 scripts/check_rangesmoke.py /tmp/rangesmoke_vars.json 8192 && \
+	echo "rangesmoke: scans validated, expiry retires through the scheme, unreclaimed bounded"
 
 examples:
 	$(GO) run ./examples/quickstart

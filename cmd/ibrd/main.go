@@ -62,6 +62,9 @@ func main() {
 		stalled     = flag.Int("stalled", 0, "injected stalled reservation holders per shard (the paper's preempted thread; for watching reclamation lag)")
 		stallFor    = flag.Duration("stallfor", 2*time.Second, "how long each injected stall pins its reservation")
 
+		maxRange   = flag.Int("max-range", 0, "result cap per RANGE scan (0 = protocol maximum, 65536)")
+		expiryGran = flag.Duration("expiry-gran", 50*time.Millisecond, "TTL expiry wheel slot width (expirations lag it by up to one remediation tick)")
+
 		softWater  = flag.Float64("soft-watermark", 0.5, "unreclaimed fraction of pool capacity that triggers forced scans")
 		hardWater  = flag.Float64("hard-watermark", 0.85, "unreclaimed fraction of pool capacity above which the shard sheds (BUSY)")
 		quarAfter  = flag.Duration("quarantine-after", time.Second, "how long a parked lease holder's reservation may sit before its tid is quarantined")
@@ -102,7 +105,8 @@ func main() {
 		Stalled: *stalled, StallFor: *stallFor,
 		SoftWatermark: *softWater, HardWatermark: *hardWater,
 		QuarantineAfter: *quarAfter, RemedyInterval: *remedyIntv,
-		SpareTids: *spares,
+		SpareTids:       *spares,
+		MaxRangeResults: *maxRange, ExpiryGranularity: *expiryGran,
 	}
 	if *obsOn {
 		cfg.Obs = &obs.Options{
@@ -173,7 +177,7 @@ func main() {
 		srv.Shutdown()
 	}
 
-	var ops, quarantines, shed, deaths uint64
+	var ops, quarantines, shed, deaths, ranges, expired uint64
 	var unreclaimed int
 	for _, st := range eng.Stats() {
 		ops += st.Ops
@@ -181,9 +185,14 @@ func main() {
 		quarantines += st.Quarantines
 		shed += st.Shed
 		deaths += st.Deaths
+		ranges += st.RangeOps
+		expired += st.Expired
 	}
 	fmt.Printf("ibrd: drained: %d ops served over %d connections, %d blocks unreclaimed after final scan\n",
 		ops, srv.Accepted(), unreclaimed)
+	if ranges+expired > 0 {
+		fmt.Printf("ibrd: ranges: %d shard legs scanned; expiry: %d keys lapsed\n", ranges, expired)
+	}
 	if quarantines+shed+deaths > 0 {
 		fmt.Printf("ibrd: degradation: %d tid quarantines, %d submits shed, %d worker deaths\n",
 			quarantines, shed, deaths)

@@ -9,7 +9,9 @@
 // (That is exactly what `make lint` does.) The suite:
 //
 //	derefguard   shared-memory accesses in internal/ds stay inside the
-//	             StartOp/EndOp reservation bracket
+//	             StartOp/EndOp reservation bracket; handing a handle to an
+//	             opaque visitor callback (the ds.Ranger idiom) counts as
+//	             such an access
 //	endop        every StartOp is matched by EndOp on all return paths
 //	retirefree   only internal/core and internal/mem may Free directly;
 //	             data structures must Scheme.Retire
@@ -19,8 +21,10 @@
 //	             plainly elsewhere
 //	lifecycle    handle typestate: no use, retire, free, or publish of a
 //	             handle after it was retired on some path; no read handle
-//	             outliving its op's EndOp unpublished. Flows through struct
-//	             fields and across function boundaries (param-effect facts)
+//	             outliving its op's EndOp unpublished; no protected-read
+//	             handle exposed to a visitor callback from an exported scan
+//	             (range visitors receive values, not handles). Flows through
+//	             struct fields and across function boundaries (facts)
 //	ibrdirective //ibrlint:ignore directives carry a reason and actually
 //	             suppress something (stale ignores are flagged)
 //

@@ -6,8 +6,23 @@
 //
 // opens 8 connections with 4 closed-loop issuers each (pipeline depth 4
 // per connection, 32 outstanding requests overall) for 2 seconds and
-// prints Mops/s plus separate read (GET) and write (PUT/DEL) p50/p95/p99
-// lines from the merged per-issuer histograms.
+// prints Mops/s plus separate read (GET), write (PUT/DEL), range (RANGE)
+// and rmw p50/p95/p99 lines from the merged per-issuer histograms.
+//
+// Workload modes:
+//
+//	write — 50/50 PUT/DEL over uniform keys (the default)
+//	read  — 90% GET, 5% PUT, 5% DEL over uniform keys
+//	zipf  — the read mix over a Zipfian key distribution (-zipf-s), the
+//	        hot-key shape: a handful of keys absorb most operations
+//	rmw   — read-modify-write: GET, then DEL+PUT of value+1, measured as
+//	        one composite operation
+//	range — 1-in-8 RANGE scans of -span keys (each executed inside one
+//	        reservation interval per shard: the paper's long-running
+//	        read), the rest 50/50 PUT/DEL — long scans vs writers
+//
+// -ttl arms every PUT with a server-side expiry, so TTL-driven
+// retirements compete with the workload's deletes.
 //
 // Every measured request carries a unique causal trace ID on the wire
 // (issuer slot in the high half, per-issuer sequence in the low), and the
@@ -32,16 +47,22 @@ import (
 	"ibr/internal/server"
 )
 
+var modes = map[string]bool{"write": true, "read": true, "zipf": true, "rmw": true, "range": true}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:4100", "ibrd server address")
 		conns    = flag.Int("c", 8, "client connections")
 		pipeline = flag.Int("p", 4, "concurrent issuers per connection (pipeline depth)")
 		seconds  = flag.Float64("i", 2.0, "measured run time in seconds")
-		mode     = flag.String("m", "write", "workload mode: write (50/50 put/del) or read (90% gets)")
+		mode     = flag.String("m", "write", "workload mode: write, read, zipf, rmw, range")
 		keyRange = flag.Uint64("range", 65536, "key range")
 		prefill  = flag.Float64("prefill", 0.5, "fraction of the key range PUT before timing")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+
+		ttl   = flag.Duration("ttl", 0, "TTL armed on every PUT (0 = no expiry)")
+		span  = flag.Uint64("span", 1024, "keys covered by each RANGE scan (range mode)")
+		zipfS = flag.Float64("zipf-s", 1.07, "Zipf skew parameter s > 1 (zipf mode)")
 
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-operation deadline (0 disables)")
 		retries   = flag.Int("retries", 4, "attempts per operation against BUSY responses")
@@ -49,21 +70,32 @@ func main() {
 		retryMax  = flag.Duration("retry-max", 50*time.Millisecond, "retry backoff cap (pre-jitter)")
 	)
 	flag.Parse()
-	if *mode != "write" && *mode != "read" {
-		fmt.Fprintf(os.Stderr, "ibrload: unknown mode %q; valid: write, read\n", *mode)
+	if !modes[*mode] {
+		fmt.Fprintf(os.Stderr, "ibrload: unknown mode %q; valid: write, read, zipf, rmw, range\n", *mode)
+		os.Exit(2)
+	}
+	if *mode == "zipf" && *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "ibrload: -zipf-s must be > 1")
+		os.Exit(2)
+	}
+	if *mode == "range" && *span == 0 {
+		fmt.Fprintln(os.Stderr, "ibrload: -span must be positive in range mode")
 		os.Exit(2)
 	}
 	policy := server.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax}
 
+	// WithRetry folds the busy-retry loop into the client itself: every
+	// DoContext below retries BUSY under the policy with no per-call
+	// ceremony, and exhaustion surfaces as an ErrBusy-wrapping error.
 	clients := make([]*server.Client, *conns)
 	for i := range clients {
-		cl, err := server.Dial(*addr)
+		cl, err := server.Dial(*addr, server.WithRetry(policy))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibrload: dial %s: %v\n", *addr, err)
 			os.Exit(1)
 		}
 		defer cl.Close()
-		if err := cl.Ping(); err != nil {
+		if err := cl.PingContext(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "ibrload:", err)
 			os.Exit(1)
 		}
@@ -71,7 +103,7 @@ func main() {
 	}
 
 	if *prefill > 0 {
-		if err := doPrefill(clients[0], *keyRange, *prefill, *seed, policy); err != nil {
+		if err := doPrefill(clients[0], *keyRange, *prefill, *seed, *ttl); err != nil {
 			fmt.Fprintln(os.Stderr, "ibrload: prefill:", err)
 			os.Exit(1)
 		}
@@ -79,9 +111,10 @@ func main() {
 
 	// One issuer = one closed loop; pipelining comes from running p of
 	// them per connection, so every connection keeps p requests in flight.
-	// Reads (GET) and writes (PUT/DEL) go to separate histograms: a write's
-	// retire/scan work rides its latency tail, so mixing the classes hides
-	// exactly the effect the reclamation schemes differ in.
+	// Reads (GET), writes (PUT/DEL), ranges (RANGE) and composite rmw go to
+	// separate histograms: a write's retire/scan work and a range's
+	// interval-length reservation ride their latency tails, so mixing the
+	// classes hides exactly the effects the reclamation schemes differ in.
 	// slowOp remembers the worst request of a one-second window and the
 	// wire trace ID it carried.
 	type slowOp struct {
@@ -90,9 +123,11 @@ func main() {
 	}
 	type issuerOut struct {
 		readHist, writeHist  harness.LatencyHist
+		rangeHist, rmwHist   harness.LatencyHist
 		ok, notFound, exists uint64
 		busy, protoErr       uint64
 		shed, timeouts       uint64 // non-fatal: retries exhausted / deadline hit
+		rangePairs, rangeOps uint64
 		slow                 []slowOp
 		err                  error
 	}
@@ -109,69 +144,12 @@ func main() {
 				defer wg.Done()
 				out := &outs[slot]
 				rng := rand.New(rand.NewSource(*seed + int64(slot)*7919 + 1))
-				var seq uint64
-				for !stop.Load() {
-					key := rng.Uint64() % *keyRange
-					op := server.OpPut
-					if *mode == "read" {
-						switch r := rng.Intn(100); {
-						case r < 90:
-							op = server.OpGet
-						case r < 95:
-							op = server.OpPut
-						default:
-							op = server.OpDel
-						}
-					} else if rng.Intn(2) == 0 {
-						op = server.OpDel
-					}
-					// Trace IDs are slot<<32|seq: unique across the run,
-					// and a hex ID read off the exit summary decodes by
-					// eye back to which issuer sent it.
-					seq++
-					trace := uint64(slot+1)<<32 | seq
-					ctx := server.WithTraceID(context.Background(), trace)
-					var cancel context.CancelFunc
-					if *timeout > 0 {
-						ctx, cancel = context.WithTimeout(ctx, *timeout)
-					}
-					t0 := time.Now()
-					resp, err := cl.DoRetry(ctx, op, key, key*2+1, policy)
-					if cancel != nil {
-						cancel()
-					}
-					if err != nil {
-						// Overload outcomes are part of the measurement, not
-						// failures: a server shedding load answers BUSY past
-						// the retry budget, and a deadline can expire while
-						// backing off. Only transport errors are fatal.
-						switch {
-						case errors.Is(err, server.ErrBusy):
-							out.shed++
-							continue
-						case errors.Is(err, context.DeadlineExceeded):
-							out.timeouts++
-							continue
-						default:
-							out.err = err
-							return
-						}
-					}
-					lat := time.Since(t0)
-					if op == server.OpGet {
-						out.readHist.Record(lat)
-					} else {
-						out.writeHist.Record(lat)
-					}
-					if w := int(t0.Sub(start) / time.Second); w >= 0 {
-						for len(out.slow) <= w {
-							out.slow = append(out.slow, slowOp{})
-						}
-						if lat > out.slow[w].lat {
-							out.slow[w] = slowOp{lat: lat, trace: trace}
-						}
-					}
-					switch resp.Status {
+				var zipf *rand.Zipf
+				if *mode == "zipf" {
+					zipf = rand.NewZipf(rng, *zipfS, 1, *keyRange-1)
+				}
+				count := func(st server.Status) {
+					switch st {
 					case server.StatusOK:
 						out.ok++
 					case server.StatusNotFound:
@@ -183,6 +161,146 @@ func main() {
 					default:
 						out.protoErr++
 					}
+				}
+				// fatal classifies one call's error: overload outcomes are
+				// part of the measurement (a server shedding load answers
+				// BUSY past the retry budget, and a deadline can expire
+				// while backing off); only transport errors abort.
+				fatal := func(err error) bool {
+					switch {
+					case errors.Is(err, server.ErrBusy):
+						out.shed++
+						return false
+					case errors.Is(err, context.DeadlineExceeded):
+						out.timeouts++
+						return false
+					default:
+						out.err = err
+						return true
+					}
+				}
+				var seq uint64
+				for !stop.Load() {
+					key := rng.Uint64() % *keyRange
+					// Trace IDs are slot<<32|seq: unique across the run,
+					// and a hex ID read off the exit summary decodes by
+					// eye back to which issuer sent it.
+					seq++
+					trace := uint64(slot+1)<<32 | seq
+					ctx := server.WithTraceID(context.Background(), trace)
+					var cancel context.CancelFunc
+					if *timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, *timeout)
+					}
+
+					var (
+						req  server.Request
+						hist *harness.LatencyHist
+					)
+					switch *mode {
+					case "write":
+						req, hist = writeOp(rng, key, *ttl), &out.writeHist
+					case "read", "zipf":
+						if zipf != nil {
+							key = zipf.Uint64()
+						}
+						switch r := rng.Intn(100); {
+						case r < 90:
+							req, hist = server.Request{Op: server.OpGet, Key: key}, &out.readHist
+						case r < 95:
+							req, hist = server.Request{Op: server.OpPut, Key: key, Val: key*2 + 1, TTL: *ttl}, &out.writeHist
+						default:
+							req, hist = server.Request{Op: server.OpDel, Key: key}, &out.writeHist
+						}
+					case "range":
+						if rng.Intn(8) == 0 {
+							hi := key + *span - 1
+							if hi < key { // wrapped
+								hi = ^uint64(0)
+							}
+							req = server.Request{Op: server.OpRange, Key: key, KeyHi: hi, TraceID: trace}
+							hist = &out.rangeHist
+						} else {
+							req, hist = writeOp(rng, key, *ttl), &out.writeHist
+						}
+					case "rmw":
+						// Composite: GET, then DEL+PUT of value+1, timed as
+						// one operation. Put is insert-if-absent, so the
+						// modify step is a delete-then-insert pair.
+						t0 := time.Now()
+						ok := func() bool {
+							g, err := cl.DoContext(ctx, server.Request{Op: server.OpGet, Key: key, TraceID: trace})
+							if err != nil {
+								return !fatal(err)
+							}
+							newVal := uint64(1)
+							if g.Status == server.StatusOK {
+								newVal = g.Val + 1
+								if _, err := cl.DoContext(ctx, server.Request{Op: server.OpDel, Key: key, TraceID: trace}); err != nil {
+									return !fatal(err)
+								}
+							}
+							p, err := cl.DoContext(ctx, server.Request{Op: server.OpPut, Key: key, Val: newVal, TTL: *ttl, TraceID: trace})
+							if err != nil {
+								return !fatal(err)
+							}
+							count(p.Status)
+							out.rmwHist.Record(time.Since(t0))
+							return true
+						}()
+						if cancel != nil {
+							cancel()
+						}
+						if !ok && out.err != nil {
+							return
+						}
+						continue
+					}
+
+					t0 := time.Now()
+					resp, err := cl.DoContext(ctx, req)
+					if cancel != nil {
+						cancel()
+					}
+					if err != nil {
+						if fatal(err) {
+							return
+						}
+						continue
+					}
+					lat := time.Since(t0)
+					hist.Record(lat)
+					if req.Op == server.OpRange {
+						if resp.Status == server.StatusUnsupported {
+							out.err = fmt.Errorf("server structure does not support RANGE (run ibrd with -structure skiplist)")
+							return
+						}
+						// Validate the scan: strictly ascending (sorted, no
+						// duplicates) and inside the requested interval. A
+						// violation means the fan-out merge or a shard leg is
+						// broken — fail the whole run, loudly.
+						for i, p := range resp.Pairs {
+							if p.Key < req.Key || p.Key > req.KeyHi {
+								out.err = fmt.Errorf("RANGE [%d,%d] returned out-of-bounds key %d", req.Key, req.KeyHi, p.Key)
+								return
+							}
+							if i > 0 && p.Key <= resp.Pairs[i-1].Key {
+								out.err = fmt.Errorf("RANGE [%d,%d] not strictly ascending at pair %d (%d after %d)", req.Key, req.KeyHi, i, p.Key, resp.Pairs[i-1].Key)
+								return
+							}
+						}
+						out.rangeOps++
+						out.rangePairs += uint64(len(resp.Pairs))
+					}
+					if w := int(t0.Sub(start) / time.Second); w >= 0 {
+						for len(out.slow) <= w {
+							out.slow = append(out.slow, slowOp{})
+						}
+						if lat > out.slow[w].lat {
+							out.slow[w] = slowOp{lat: lat, trace: trace}
+						}
+					}
+					count(resp.Status)
 				}
 			}(cl, ci**pipeline+p)
 		}
@@ -197,6 +315,8 @@ func main() {
 		o := &outs[i]
 		total.readHist.Merge(&o.readHist)
 		total.writeHist.Merge(&o.writeHist)
+		total.rangeHist.Merge(&o.rangeHist)
+		total.rmwHist.Merge(&o.rmwHist)
 		total.ok += o.ok
 		total.notFound += o.notFound
 		total.exists += o.exists
@@ -204,6 +324,8 @@ func main() {
 		total.protoErr += o.protoErr
 		total.shed += o.shed
 		total.timeouts += o.timeouts
+		total.rangeOps += o.rangeOps
+		total.rangePairs += o.rangePairs
 		for w, s := range o.slow {
 			for len(total.slow) <= w {
 				total.slow = append(total.slow, slowOp{})
@@ -220,7 +342,7 @@ func main() {
 	for _, cl := range clients {
 		retried += cl.Retries()
 	}
-	ops := total.readHist.Count() + total.writeHist.Count()
+	ops := total.readHist.Count() + total.writeHist.Count() + total.rangeHist.Count() + total.rmwHist.Count()
 	attempts := ops + total.shed + total.timeouts
 	fmt.Printf("ibrload: %d conns × %d pipeline, %s mode, %v\n", *conns, *pipeline, *mode, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %d ops, %.4f Mops/s (ok %d, not-found %d, exists %d, busy %d)\n",
@@ -231,12 +353,20 @@ func main() {
 			total.timeouts, 100*float64(total.timeouts)/float64(attempts),
 			retried, float64(retried)/float64(attempts))
 	}
+	if total.rangeOps > 0 {
+		fmt.Printf("  ranges: %d scans validated, %.1f pairs/scan mean (span %d)\n",
+			total.rangeOps, float64(total.rangePairs)/float64(total.rangeOps), *span)
+	}
 	for _, c := range []struct {
 		name string
 		h    *harness.LatencyHist
-	}{{"read  (get)", &total.readHist}, {"write (put/del)", &total.writeHist}} {
+	}{
+		{"read  (get)", &total.readHist},
+		{"write (put/del)", &total.writeHist},
+		{"range (scan)", &total.rangeHist},
+		{"rmw (composite)", &total.rmwHist},
+	} {
 		if c.h.Count() == 0 {
-			fmt.Printf("  latency %-15s: no ops\n", c.name)
 			continue
 		}
 		fmt.Printf("  latency %-15s: n=%d p50~%v p95~%v p99~%v\n",
@@ -257,11 +387,19 @@ func main() {
 	}
 }
 
+// writeOp picks one 50/50 PUT/DEL request.
+func writeOp(rng *rand.Rand, key uint64, ttl time.Duration) server.Request {
+	if rng.Intn(2) == 0 {
+		return server.Request{Op: server.OpDel, Key: key}
+	}
+	return server.Request{Op: server.OpPut, Key: key, Val: key*2 + 1, TTL: ttl}
+}
+
 // doPrefill PUTs ~frac of the key range through one client, fanning the
 // round trips out over a small issuer pool so a large range loads quickly.
 // On failure the issuers keep draining the feed (without issuing) so the
 // feeder can never block on a dead pool.
-func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64, policy server.RetryPolicy) error {
+func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64, ttl time.Duration) error {
 	const issuers = 32
 	var (
 		keys   = make(chan uint64, issuers)
@@ -286,7 +424,7 @@ func doPrefill(cl *server.Client, keyRange uint64, frac float64, seed int64, pol
 				if failed.Load() {
 					continue
 				}
-				r, err := cl.DoRetry(context.Background(), server.OpPut, k, k*2+1, policy)
+				r, err := cl.Put(context.Background(), k, k*2+1, ttl)
 				if err != nil {
 					report(err)
 				} else if r.Status != server.StatusOK && r.Status != server.StatusExists {

@@ -16,6 +16,12 @@
 //     traversal helpers running under their caller's bracket and are skipped
 //     (the bracket is checked at the exported entry points).
 //
+// Passing a mem.Handle to an opaque visitor callback (a function-typed
+// parameter or field — the ds.Ranger idiom) counts as a protected operation
+// too: the callback may dereference the handle, so the exposure must happen
+// inside the bracket. Locally bound closures (the recursive-walk idiom) are
+// exempt — their bodies are visible and checked on their own.
+//
 // Test files are exempt: tests deliberately stage quiescent inspections.
 package derefguard
 
@@ -79,7 +85,8 @@ func run(pass *analysis.Pass) (any, error) {
 				continue // helper running under the caller's bracket
 			}
 			if g := cfgs.FuncDecl(fd); g != nil {
-				checkFunc(pass, rep, g)
+				locals := ibrlint.FuncLitBindings(pass.TypesInfo, fd.Body)
+				checkFunc(pass, rep, g, locals)
 			}
 		}
 	}
@@ -104,14 +111,14 @@ func hasStartOp(pass *analysis.Pass, body *ast.BlockStmt) bool {
 }
 
 // checkFunc runs the bracket dataflow over one function's CFG.
-func checkFunc(pass *analysis.Pass, rep *ibrlint.Reporter, g *cfg.CFG) {
+func checkFunc(pass *analysis.Pass, rep *ibrlint.Reporter, g *cfg.CFG, locals map[types.Object]bool) {
 	blocks := g.Blocks
 	events := make([][]event, len(blocks))
 	index := make(map[*cfg.Block]int, len(blocks))
 	for i, b := range blocks {
 		index[b] = i
 		for _, n := range b.Nodes {
-			events[i] = append(events[i], blockEvents(pass, n)...)
+			events[i] = append(events[i], blockEvents(pass, n, locals)...)
 		}
 	}
 
@@ -182,7 +189,7 @@ func transfer(s state, evs []event) state {
 // blockEvents extracts bracket events from one CFG node in source order,
 // skipping nested closures and defer statements (a deferred EndOp runs at
 // return and does not close the bracket mid-function).
-func blockEvents(pass *analysis.Pass, node ast.Node) []event {
+func blockEvents(pass *analysis.Pass, node ast.Node, locals map[types.Object]bool) []event {
 	var evs []event
 	ast.Inspect(node, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -210,6 +217,18 @@ func blockEvents(pass *analysis.Pass, node ast.Node) []event {
 			// is epochstamp's concern, not a bracket violation.
 			if fn := ibrlint.CoreCall(info, n, "Alloc"); fn != nil && fn.Signature().Results().Len() == 1 {
 				evs = append(evs, event{kind: evOp, pos: n.Pos(), what: methodName(fn)})
+				return true
+			}
+			// A handle crossing into an opaque visitor callback (the
+			// ds.Ranger idiom): the callback may dereference it, so the
+			// exposure is a protected operation.
+			if ibrlint.VisitorCall(info, n, locals) {
+				for _, a := range n.Args {
+					if t := info.TypeOf(a); t != nil && ibrlint.IsHandleType(t) {
+						evs = append(evs, event{kind: evOp, pos: n.Pos(), what: "visitor callback receiving a handle"})
+						break
+					}
+				}
 			}
 		}
 		return true

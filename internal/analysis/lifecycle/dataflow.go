@@ -33,6 +33,7 @@ const (
 	evPublish               // src stored into a shared pointer (def: definitely)
 	evUse                   // src dereferenced (Pool.Get / Guard.Deref)
 	evEscape                // src escapes (return, composite, append, send)
+	evExpose                // src passed to an opaque visitor callback
 	evEndOp                 // plain EndOp: unpublished read handles expire
 	evCall                  // summarized call: fn's effects apply to args
 )
@@ -249,6 +250,28 @@ func (fa *funcAnalysis) apply(st *absState, ev *event, ctx *reportCtx) {
 				fa.reportf(ctx, ev.pos, "handle retired at line %d is %s: the receiver may dereference a reclaimed block (use-after-retire)", fa.line(fa.retireAt[v]), ev.what)
 			} else if st.flags[v]&fExpired != 0 {
 				fa.reportf(ctx, ev.pos, "handle read inside this op is %s after EndOp at line %d: it is no longer protected", ev.what, fa.line(fa.endAt[v]))
+			}
+			fa.noteEffect(ctx, st, set, EffEscape)
+		}
+		forEach(set, func(u int) { st.flags[u] |= fPub })
+
+	case evExpose:
+		// The range-callback idiom: the callee is caller-supplied code the
+		// analyzer cannot see, so a handle argument may be retained past
+		// the reservation bracket. Exposing a retired or expired handle is
+		// the usual use-after-retire escape; exposing a live protected-read
+		// handle violates the ds.Ranger contract outright — the visitor
+		// must receive values, because only values cannot outlive the
+		// StartOp/EndOp bracket that protects the scan.
+		v := ev.src
+		set := st.markSet(v)
+		if ctx != nil {
+			if st.flags[v]&fRetired != 0 {
+				fa.reportf(ctx, ev.pos, "handle retired at line %d is %s: the callback may dereference a reclaimed block (use-after-retire)", fa.line(fa.retireAt[v]), ev.what)
+			} else if st.flags[v]&fExpired != 0 {
+				fa.reportf(ctx, ev.pos, "handle read inside this op is %s after EndOp at line %d: it is no longer protected", ev.what, fa.line(fa.endAt[v]))
+			} else if st.flags[v]&fFromRead != 0 && st.flags[v]&fPubDef == 0 {
+				fa.reportf(ctx, ev.pos, "protected read handle is %s: the callback can retain it past the StartOp/EndOp bracket — range visitors receive values, not handles", ev.what)
 			}
 			fa.noteEffect(ctx, st, set, EffEscape)
 		}

@@ -109,7 +109,8 @@ func run(pass *analysis.Pass) (any, error) {
 			if g == nil {
 				continue
 			}
-			fa := prepare(pass, sums, g, fd.Body, fn.Signature())
+			fa := prepare(pass, sums, g, fd.Body, fn.Signature(), fd.Name.IsExported(),
+				ibrlint.FuncLitBindings(pass.TypesInfo, fd.Body))
 			if fa == nil {
 				continue // no tracked handles in this function
 			}
@@ -153,29 +154,45 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 	// Closures (the Guarded.Do bodies after the facade port) are analyzed
 	// standalone: their captured environment enters untracked, which is
-	// sound for reporting.
+	// sound for reporting. A closure inherits its enclosing declaration's
+	// visitor-exposure context: exported-ness and the set of locally bound
+	// closures (a captured recursive walk is still visible code).
 	for _, f := range pass.Files {
 		if ibrlint.TestFile(pass, f.Pos()) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			lit, ok := n.(*ast.FuncLit)
-			if !ok {
+		for _, d := range f.Decls {
+			exposed := true
+			root := ast.Node(d)
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fd.Body == nil {
+					continue
+				}
+				exposed = fd.Name.IsExported()
+				root = fd.Body
+			}
+			ast.Inspect(root, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				g := cfgs.FuncLit(lit)
+				if g == nil {
+					return true
+				}
+				sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+				if !ok {
+					return true
+				}
+				// Bindings from the enclosing declaration, so the captured
+				// recursive-walk idiom stays exempt.
+				locals := ibrlint.FuncLitBindings(pass.TypesInfo, root)
+				if fa := prepare(pass, sums, g, lit.Body, sig, exposed, locals); fa != nil {
+					fa.analyze(rep)
+				}
 				return true
-			}
-			g := cfgs.FuncLit(lit)
-			if g == nil {
-				return true
-			}
-			sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature)
-			if !ok {
-				return true
-			}
-			if fa := prepare(pass, sums, g, lit.Body, sig); fa != nil {
-				fa.analyze(rep)
-			}
-			return true
-		})
+			})
+		}
 	}
 	return nil, nil
 }
@@ -226,6 +243,14 @@ type funcAnalysis struct {
 	events  [][]event // per CFG block, in source order
 	nparams int
 
+	// exposed marks a body whose callbacks come from outside the package
+	// surface (an exported function, or a closure inside one): handles
+	// crossing into an opaque visitor call there are escape events. locals
+	// holds the variables bound to function literals, whose calls invoke
+	// visible code and are exempt.
+	exposed bool
+	locals  map[types.Object]bool
+
 	// First-retire / first-expiry positions per var, for diagnostics.
 	retireAt, endAt []token.Pos
 
@@ -234,7 +259,7 @@ type funcAnalysis struct {
 
 // prepare collects the tracked variables and per-block events for one
 // function body. It returns nil when the body tracks no handles at all.
-func prepare(pass *analysis.Pass, sums map[*types.Func]*Summary, g *cfg.CFG, body *ast.BlockStmt, sig *types.Signature) *funcAnalysis {
+func prepare(pass *analysis.Pass, sums map[*types.Func]*Summary, g *cfg.CFG, body *ast.BlockStmt, sig *types.Signature, exposed bool, locals map[types.Object]bool) *funcAnalysis {
 	fa := &funcAnalysis{
 		pass:      pass,
 		sums:      sums,
@@ -245,6 +270,8 @@ func prepare(pass *analysis.Pass, sums map[*types.Func]*Summary, g *cfg.CFG, bod
 		excluded:  make(map[types.Object]bool),
 		exKeys:    make(map[varKey]bool),
 		factCache: make(map[*types.Func]*Summary),
+		exposed:   exposed,
+		locals:    locals,
 	}
 	fa.collectExclusions(body)
 	fa.collectVars(body)
@@ -715,6 +742,14 @@ func (fa *funcAnalysis) callEvents(call *ast.CallExpr, evs *[]event) {
 	case isBuiltinAppend(info, call):
 		for _, a := range call.Args[1:] {
 			fa.escapeCheck(a, "appended to a slice", evs)
+		}
+	case fa.exposed && ibrlint.VisitorCall(info, call, fa.locals):
+		// The range-callback idiom: a handle crossing into an opaque
+		// visitor is gone from the bracket's custody (see evExpose).
+		for _, a := range call.Args {
+			if v := fa.resolve(a); v >= 0 {
+				*evs = append(*evs, event{kind: evExpose, src: v, what: "exposed to a visitor callback", pos: call.Pos()})
+			}
 		}
 	default:
 		fn := fa.summaryCallee(call)

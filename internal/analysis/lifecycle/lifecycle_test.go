@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ibr/internal/analysis/checktest"
+	"ibr/internal/analysis/derefguard"
 	"ibr/internal/analysis/lifecycle"
 )
 
@@ -35,4 +36,13 @@ func TestProtectedWindow(t *testing.T) {
 // brackets, failed-insert discards) produce no diagnostics.
 func TestClean(t *testing.T) {
 	checktest.Run(t, "lifeok/internal/ds", lifecycle.Analyzer)
+}
+
+// TestRangeCallback: the range-scan visitor idiom — handles exposed to an
+// opaque callback must not escape the StartOp/EndOp bracket. Both owners of
+// the rule run together: derefguard polices WHERE the exposure happens
+// (inside the bracket), lifecycle polices WHAT crosses (values, or handles
+// whose lifetime no longer hangs on the reservation).
+func TestRangeCallback(t *testing.T) {
+	checktest.Run(t, "liferange/internal/ds", derefguard.Analyzer, lifecycle.Analyzer)
 }

@@ -210,6 +210,24 @@ type retiredBlock struct {
 	birth, retire uint64
 }
 
+// RetireSource labels who initiated a retirement. The serving layer tags
+// each worker's current source so the scheme can account for garbage by
+// cause: ordinary structure operations (user deletes and update-displaced
+// nodes) versus TTL expirations, which the engine's expiry wheel drives
+// through this same retire path. The split is what lets operators see that
+// an unreclaimed backlog is, say, expiry-driven churn rather than a delete
+// storm — both compete for the identical scan capacity.
+type RetireSource uint8
+
+const (
+	// SourceUser: retirement caused by a client-visible structure operation.
+	SourceUser RetireSource = iota
+	// SourceExpiry: retirement caused by a TTL expiration.
+	SourceExpiry
+	// NumRetireSources sizes per-source counter arrays.
+	NumRetireSources
+)
+
 // threadState is per-thread bookkeeping, cache-line padded.
 type threadState struct {
 	_            [64]byte
@@ -217,6 +235,7 @@ type threadState struct {
 	retireCount  uint64
 	sinceAdvance uint64 // retirements since the last epoch advance seen by this tid
 	allocFailed  bool   // last Alloc returned Nil for pool exhaustion
+	retireSrc    RetireSource // current retirement cause (owned by tid's goroutine)
 	store        retireStore
 	drainAt      int // adaptive watermark: scan when store.count reaches it
 	drainStep    int // current watermark step (EmptyFreq, doubling when futile)
@@ -230,6 +249,7 @@ type threadState struct {
 	freed        atomic.Uint64 // blocks reclaimed by scans
 	bucketSkips  atomic.Uint64 // whole buckets kept by one corner test
 	bucketFrees  atomic.Uint64 // whole buckets freed by one corner test
+	retiredBy    [NumRetireSources]atomic.Uint64 // retirements by cause
 	_            [64]byte
 }
 
@@ -376,6 +396,45 @@ func SetDrainPressure(s Scheme, on bool) {
 	}
 }
 
+// SetRetireSource tags tid's subsequent retirements with src until changed.
+// Like every per-tid mutator it may only be called by the goroutine owning
+// tid; the serving worker brackets expiry batches with it.
+func (b *base) SetRetireSource(tid int, src RetireSource) {
+	if src >= NumRetireSources {
+		panic("core: unknown retire source")
+	}
+	b.ts[tid].retireSrc = src
+}
+
+// RetireSources sums the per-thread retirement counters by cause. Safe to
+// call concurrently with serving (the counters are atomics).
+func (b *base) RetireSources() [NumRetireSources]uint64 {
+	var out [NumRetireSources]uint64
+	for i := range b.ts {
+		for s := range out {
+			out[s] += b.ts[i].retiredBy[s].Load()
+		}
+	}
+	return out
+}
+
+// SetRetireSource tags tid's subsequent retirements on schemes that account
+// by cause (every registered scheme does, via base).
+func SetRetireSource(s Scheme, tid int, src RetireSource) {
+	if r, ok := s.(interface{ SetRetireSource(int, RetireSource) }); ok {
+		r.SetRetireSource(tid, src)
+	}
+}
+
+// RetireSources returns the scheme's retirement counts by cause (zeros when
+// the scheme does not account).
+func RetireSources(s Scheme) [NumRetireSources]uint64 {
+	if r, ok := s.(interface{ RetireSources() [NumRetireSources]uint64 }); ok {
+		return r.RetireSources()
+	}
+	return [NumRetireSources]uint64{}
+}
+
 // Reservations exposes the reservation table (tests and diagnostics).
 func (b *base) Reservations() *epoch.Table { return b.res }
 
@@ -480,6 +539,7 @@ func (b *base) retire(tid int, h mem.Handle, drain func(int)) {
 		}
 	}
 	ts.retireCount++
+	ts.retiredBy[ts.retireSrc].Add(1)
 	ts.sinceAdvance++
 	if ts.sinceAdvance >= uint64(b.opts.EpochFreq) {
 		ts.sinceAdvance = 0

@@ -43,6 +43,23 @@ type Map interface {
 	Keys() []uint64
 }
 
+// Ranger is the optional ordered-iteration interface: a Map additionally
+// implements it when it can scan a key interval in ascending order. Range
+// calls fn for every pair with from <= key <= to, ascending, under ONE
+// reclamation bracket per call — the serving layer relies on that to make a
+// large scan a single long reservation interval (the paper's adversarial
+// reader). Consistency is structure-specific: the Bonsai tree scans an
+// atomic snapshot, while the list and skip list are weakly consistent —
+// keys mutated mid-scan may or may not appear, but every key untouched for
+// the scan's duration is reported exactly once and no key twice. fn
+// returning false stops the scan. fn must not retain node references
+// beyond its return (it receives values, not handles, precisely so it
+// cannot); structures without ordered layout (hashmap, nmtree) do not
+// implement Ranger and the engine answers StatusUnsupported for them.
+type Ranger interface {
+	Range(tid int, from, to uint64, fn func(key, val uint64) bool)
+}
+
 // KV is a key-value pair for Fill.
 type KV struct{ Key, Val uint64 }
 

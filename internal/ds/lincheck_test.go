@@ -73,3 +73,97 @@ func TestLinearizability(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeLinearizability drives concurrent scans against insert/remove
+// churn on every Ranger structure and checks the combined history: each
+// scan's structural contract (ascending, in-bounds, duplicate-free) via
+// RecordRange, and each key's observations against its own history via the
+// per-key DFS. A reclamation bug in the scan path — which holds one
+// reservation across the whole traversal — shows up as a phantom (a freed
+// node's key returned) or a lost key.
+func TestRangeLinearizability(t *testing.T) {
+	const (
+		threads     = 3
+		keys        = 4
+		opsPerRound = 4
+		rounds      = 150
+	)
+	universe := make([]uint64, keys)
+	for i := range universe {
+		universe[i] = uint64(i)
+	}
+	for _, structure := range mapStructures {
+		for _, scheme := range []string{"none", "ebr", "tagibr", "2geibr", "hyaline", "debra"} {
+			if !SchemeSupports(scheme, structure) {
+				continue
+			}
+			m := newTestMap(t, structure, scheme, threads)
+			r, ok := m.(Ranger)
+			if !ok {
+				continue
+			}
+			t.Run(structure+"/"+scheme, func(t *testing.T) {
+				present := map[uint64]bool{}
+				for round := 0; round < rounds; round++ {
+					rec := lincheck.NewRecorder(threads)
+					var (
+						wg      sync.WaitGroup
+						scanErr error
+						errMu   sync.Mutex
+					)
+					for tid := 0; tid < threads; tid++ {
+						wg.Add(1)
+						go func(tid int) {
+							defer wg.Done()
+							rng := rand.New(rand.NewSource(int64(round*threads+tid) + 777))
+							for i := 0; i < opsPerRound; i++ {
+								key := uint64(rng.Intn(keys))
+								t0 := rec.Begin()
+								switch rng.Intn(4) {
+								case 0:
+									ok := m.Insert(tid, key, key)
+									rec.Record(tid, lincheck.Insert, key, ok, t0)
+								case 1:
+									ok := m.Remove(tid, key)
+									rec.Record(tid, lincheck.Remove, key, ok, t0)
+								case 2:
+									_, ok := m.Get(tid, key)
+									rec.Record(tid, lincheck.Get, key, ok, t0)
+								default:
+									var got []uint64
+									r.Range(tid, 0, keys-1, func(k, v uint64) bool {
+										got = append(got, k)
+										return true
+									})
+									if err := rec.RecordRange(tid, 0, keys-1, got, universe, t0); err != nil {
+										errMu.Lock()
+										if scanErr == nil {
+											scanErr = err
+										}
+										errMu.Unlock()
+										return
+									}
+								}
+							}
+						}(tid)
+					}
+					wg.Wait()
+					if scanErr != nil {
+						t.Fatalf("round %d: %v", round, scanErr)
+					}
+					rep := lincheck.Check(rec.Events(), func(k uint64) bool { return present[k] })
+					if err := rep.Err(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if rep.Inconclusive > 0 {
+						t.Fatalf("round %d: %d keys inconclusive (history too long)", round, rep.Inconclusive)
+					}
+					for k := uint64(0); k < keys; k++ {
+						_, ok := m.Get(0, k)
+						present[k] = ok
+					}
+				}
+			})
+		}
+	}
+}

@@ -110,6 +110,92 @@ func TestListRange(t *testing.T) {
 	}
 }
 
+// TestRangerSet pins which structures implement the optional Ranger
+// interface: the ordered ones do, the unordered ones must not (the engine's
+// StatusUnsupported answer keys off exactly this assertion).
+func TestRangerSet(t *testing.T) {
+	want := map[string]bool{"list": true, "bonsai": true, "skiplist": true, "hashmap": false, "nmtree": false}
+	for _, name := range MapStructures() {
+		m, err := NewMap(name, testConfig("tagibr", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(Ranger); ok != want[name] {
+			t.Fatalf("%s implements Ranger = %v, want %v", name, ok, want[name])
+		}
+	}
+}
+
+func TestSkipListRange(t *testing.T) {
+	sl := newTestSkipList(t, "tagibr", 1)
+	for k := uint64(0); k < 50; k += 5 {
+		sl.Insert(0, k, k+1)
+	}
+	var got []uint64
+	sl.Range(0, 10, 35, func(k, v uint64) bool {
+		if v != k+1 {
+			t.Fatalf("value of %d = %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 15, 20, 25, 30, 35}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	sl.Range(0, 0, 49, func(k, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestSkipListRangeNoDuplicatesUnderChurn mirrors the list test: under
+// concurrent churn, stable keys must be reported exactly once and no key
+// twice — the resume cursor's contract.
+func TestSkipListRangeNoDuplicatesUnderChurn(t *testing.T) {
+	sl := newTestSkipList(t, "tagibr", 2)
+	for k := uint64(0); k < 300; k += 10 {
+		sl.Insert(0, k, k)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := uint64(i%150)*2 + 1
+			sl.Insert(0, k, k)
+			sl.Remove(0, k)
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		seen := map[uint64]int{}
+		sl.Range(1, 0, 299, func(k, v uint64) bool {
+			seen[k]++
+			return true
+		})
+		for k, c := range seen {
+			if c > 1 {
+				t.Fatalf("key %d reported %d times", k, c)
+			}
+		}
+		for k := uint64(0); k < 300; k += 10 {
+			if seen[k] != 1 {
+				t.Fatalf("stable key %d reported %d times", k, seen[k])
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
 // TestListRangeNoDuplicatesUnderChurn: concurrent inserts/removes force
 // validation restarts; stable keys must be reported exactly once.
 func TestListRangeNoDuplicatesUnderChurn(t *testing.T) {

@@ -324,6 +324,39 @@ func (sl *SkipList) Get(tid int, key uint64) (uint64, bool) {
 	return sl.pool.Get(succs[0]).val, true
 }
 
+// Range calls fn in ascending key order for every pair with from <= key <=
+// to, walking the level-0 chain under one reservation bracket. Like the
+// list's Range it is weakly consistent: logically deleted nodes are
+// skipped, and a node removed mid-scan still leads onward — Harris-style
+// removal leaves a retired node's next pointer intact, so the frozen chain
+// converges back into the live list and the reservation keeps every node on
+// it from being recycled under us. The resume cursor guarantees no key is
+// ever emitted twice.
+func (sl *SkipList) Range(tid int, from, to uint64, fn func(key, val uint64) bool) {
+	s := sl.s
+	s.StartOp(tid)
+	defer s.EndOp(tid)
+	lo := from
+	curr := s.Read(tid, 0, &sl.head.next[0]).ClearMarks()
+	for !curr.IsNil() {
+		n := sl.pool.Get(curr)
+		next := s.Read(tid, 1, &n.next[0])
+		if !next.Mark0() { // skip logically deleted nodes
+			k := n.key
+			if k > to {
+				return
+			}
+			if k >= lo {
+				if !fn(k, n.val) {
+					return
+				}
+				lo = k + 1
+			}
+		}
+		curr = next.ClearMarks()
+	}
+}
+
 // Fill bulk-loads pairs (single-threaded) through the insert path.
 func (sl *SkipList) Fill(pairs []KV) {
 	for _, kv := range pairs {

@@ -7,6 +7,8 @@
 //	Insert → ok iff absent (then present)
 //	Remove → ok iff present (then absent)
 //	Get    → reports the state, never changes it
+//	Range  → one scan-derived observation per key, same spec as Get
+//	         (see Recorder.RecordRange for the scan-wide checks)
 //
 // CheckKey searches for a linearization of one key's history that respects
 // real-time order (op A precedes op B iff A returned before B was invoked)
@@ -36,6 +38,14 @@ const (
 	Remove
 	// Get is a lookup; OK means the key was present.
 	Get
+	// Range is one key's observation extracted from a range scan: OK means
+	// the scan returned the key, !OK means the scan covered the key's
+	// interval but did not return it. Sequentially it behaves exactly like
+	// Get; the distinct kind keeps scan-derived events identifiable in
+	// violation reports. Scan-wide structural invariants (ordering,
+	// duplicates, bounds) are checked by Recorder.RecordRange before any
+	// event is emitted.
+	Range
 )
 
 func (k Kind) String() string {
@@ -44,6 +54,8 @@ func (k Kind) String() string {
 		return "Insert"
 	case Remove:
 		return "Remove"
+	case Range:
+		return "Range"
 	}
 	return "Get"
 }
@@ -88,6 +100,51 @@ func (r *Recorder) Record(tid int, kind Kind, key uint64, ok bool, invoke uint64
 		Tid: tid, Kind: kind, Key: key, OK: ok,
 		Invoke: invoke, Return: r.clock.Add(1),
 	})
+}
+
+// RecordRange validates and records one range-scan observation. got is the
+// scan's returned key list, in return order; absentCandidates are keys the
+// caller knows the workload drives (the scan's "universe") — each one in
+// [from, to] and not in got is recorded as a negative observation.
+//
+// Two layers of checking happen. Structural invariants — keys strictly
+// ascending (so no duplicates) and inside [from, to] — are scan-wide
+// properties no linearization could excuse, so violations are returned as
+// an error immediately and nothing is recorded. Everything semantic then
+// rides the per-key decomposition: each returned key becomes Range(k)=true
+// and each covered-but-missing candidate becomes Range(k)=false, all
+// sharing the scan's [invoke, return] window. The checker then requires
+// each key to have individually been in its observed state at some point
+// during the scan — exactly the contract of a weakly consistent scan. A
+// phantom (a returned key no history ever made present) or a lost key (a
+// key present for the scan's whole window but not returned) surfaces as a
+// per-key Violation.
+func (r *Recorder) RecordRange(tid int, from, to uint64, got, absentCandidates []uint64, invoke uint64) error {
+	for i, k := range got {
+		if k < from || k > to {
+			return fmt.Errorf("lincheck: range [%d,%d] returned out-of-bounds key %d at index %d", from, to, k, i)
+		}
+		if i > 0 && k <= got[i-1] {
+			return fmt.Errorf("lincheck: range [%d,%d] not strictly ascending at index %d (%d after %d)", from, to, i, k, got[i-1])
+		}
+	}
+	ret := r.clock.Add(1)
+	seen := make(map[uint64]bool, len(got))
+	for _, k := range got {
+		seen[k] = true
+		r.events[tid] = append(r.events[tid], Event{
+			Tid: tid, Kind: Range, Key: k, OK: true, Invoke: invoke, Return: ret,
+		})
+	}
+	for _, k := range absentCandidates {
+		if k < from || k > to || seen[k] {
+			continue
+		}
+		r.events[tid] = append(r.events[tid], Event{
+			Tid: tid, Kind: Range, Key: k, OK: false, Invoke: invoke, Return: ret,
+		})
+	}
+	return nil
 }
 
 // Events merges all thread logs.
@@ -218,7 +275,7 @@ func apply(present bool, e Event) (next bool, consistent bool) {
 			return false, present
 		}
 		return present, !present
-	default: // Get
+	default: // Get and Range observe without mutating
 		return present, e.OK == present
 	}
 }

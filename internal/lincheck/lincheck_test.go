@@ -269,3 +269,104 @@ func TestSearchBudget(t *testing.T) {
 		t.Fatalf("CheckKey took %v; budget did not bound the search", time.Since(start))
 	}
 }
+
+// TestRecordRangeStructural: disorder, duplicates, and out-of-bounds keys
+// in a scan result are scan-wide protocol bugs, rejected before any event
+// is recorded.
+func TestRecordRangeStructural(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to uint64
+		got      []uint64
+		wantErr  bool
+	}{
+		{"empty", 10, 20, nil, false},
+		{"ascending", 10, 20, []uint64{10, 15, 20}, false},
+		{"duplicate", 10, 20, []uint64{10, 15, 15}, true},
+		{"descending", 10, 20, []uint64{15, 10}, true},
+		{"below", 10, 20, []uint64{9, 15}, true},
+		{"above", 10, 20, []uint64{15, 21}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := NewRecorder(1)
+			inv := rec.Begin()
+			err := rec.RecordRange(0, c.from, c.to, c.got, nil, inv)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("RecordRange(%v) err = %v, wantErr %v", c.got, err, c.wantErr)
+			}
+			if c.wantErr && len(rec.Events()) != 0 {
+				t.Fatal("rejected scan still recorded events")
+			}
+			if !c.wantErr && len(rec.Events()) != len(c.got) {
+				t.Fatalf("recorded %d events, want %d", len(rec.Events()), len(c.got))
+			}
+		})
+	}
+}
+
+// TestRangePhantomRejected: a scan returning a key whose history never
+// made it present is a phantom — the per-key check must reject it.
+func TestRangePhantomRejected(t *testing.T) {
+	rec := NewRecorder(2)
+	// Key 5 is inserted and removed, sequentially. A later scan that still
+	// returns key 5 observed freed memory.
+	t0 := rec.Begin()
+	rec.Record(0, Insert, 5, true, t0)
+	t1 := rec.Begin()
+	rec.Record(0, Remove, 5, true, t1)
+	t2 := rec.Begin()
+	if err := rec.RecordRange(1, 0, 10, []uint64{5}, nil, t2); err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(rec.Events(), func(uint64) bool { return false })
+	if rep.Err() == nil {
+		t.Fatal("phantom key in a range scan accepted")
+	}
+}
+
+// TestRangeLostKeyRejected: a key continuously present across the scan's
+// whole window must be returned; a scan that skips it lost an entry.
+func TestRangeLostKeyRejected(t *testing.T) {
+	rec := NewRecorder(2)
+	t0 := rec.Begin()
+	rec.Record(0, Insert, 7, true, t0)
+	t1 := rec.Begin()
+	// The scan covers [0,10], key 7 is present and untouched, yet absent
+	// from the result. absentCandidates turns that absence into an event.
+	if err := rec.RecordRange(1, 0, 10, nil, []uint64{7, 50}, t1); err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(rec.Events(), func(uint64) bool { return false })
+	if rep.Err() == nil {
+		t.Fatal("lost key in a range scan accepted")
+	}
+	// Candidate 50 lies outside [0,10]: no event, no spurious violation.
+	for _, e := range rec.Events() {
+		if e.Key == 50 {
+			t.Fatal("out-of-interval candidate recorded")
+		}
+	}
+}
+
+// TestRangeConcurrentFlexibility: a key inserted concurrently with the
+// scan may legitimately be either in or out of the result.
+func TestRangeConcurrentFlexibility(t *testing.T) {
+	for _, returned := range []bool{true, false} {
+		rec := NewRecorder(2)
+		scanInv := rec.Begin()
+		insInv := rec.Begin()
+		rec.Record(0, Insert, 3, true, insInv)
+		var got []uint64
+		if returned {
+			got = []uint64{3}
+		}
+		if err := rec.RecordRange(1, 0, 10, got, []uint64{3}, scanInv); err != nil {
+			t.Fatal(err)
+		}
+		rep := Check(rec.Events(), func(uint64) bool { return false })
+		if err := rep.Err(); err != nil {
+			t.Fatalf("concurrent insert, returned=%v: %v", returned, err)
+		}
+	}
+}

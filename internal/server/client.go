@@ -23,9 +23,10 @@ import (
 // which is discarded on arrival (the result channel is buffered, so the
 // reader never blocks on an abandoned caller), and the client stays usable.
 type Client struct {
-	conn net.Conn
-	reqs chan reqFrame
-	done chan struct{} // closed by fail(): unblocks senders, stops the writer
+	conn  net.Conn
+	reqs  chan reqFrame
+	done  chan struct{} // closed by fail(): unblocks senders, stops the writer
+	retry *RetryPolicy  // WithRetry: DoContext retries StatusBusy under it
 
 	pmu      sync.Mutex // guards pending, nextID, err
 	pending  map[uint32]chan result
@@ -33,27 +34,43 @@ type Client struct {
 	err      error // first fatal error; set once, fails all later Dos
 	failOnce sync.Once
 
-	retries atomic.Uint64 // DoRetry re-submissions after StatusBusy
+	retries atomic.Uint64 // busy re-submissions made under a retry policy
 }
 
 type reqFrame struct {
-	id       uint32
-	op       Op
-	key, val uint64
-	trace    uint64 // wire trace ID from WithTraceID (0 = untraced)
+	id  uint32
+	req Request
 }
 
 type result struct {
-	resp Resp
+	resp Response
 	err  error
 }
 
-// RetryPolicy shapes DoRetry's handling of StatusBusy responses — the
-// server's backpressure signal for a full shard queue, a shedding shard, or
-// an exhausted node pool. Delays grow exponentially from BaseDelay, are
-// capped at MaxDelay, and carry ±50% jitter so a fleet of clients backing
-// off from the same overloaded shard does not resynchronize into waves.
-// The zero value selects the defaults.
+// ClientOption configures a Client at Dial time.
+type ClientOption func(*Client)
+
+// WithRetry makes every DoContext (and the ops built on it) transparently
+// retry StatusBusy responses — the server's backpressure signal for a full
+// shard queue, a shedding shard, or an exhausted node pool — under p with
+// jittered exponential backoff, until the context ends or attempts run
+// out. On exhaustion the call returns the last busy Response and an error
+// wrapping ErrBusy, so callers distinguish "the server kept refusing"
+// (errors.Is ErrBusy) from a broken connection. Other statuses and
+// transport errors return immediately, unretried. The zero RetryPolicy
+// selects the defaults.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) {
+		pol := p.withDefaults()
+		c.retry = &pol
+	}
+}
+
+// RetryPolicy shapes a retrying client's handling of StatusBusy responses
+// (see WithRetry). Delays grow exponentially from BaseDelay, are capped at
+// MaxDelay, and carry ±50% jitter so a fleet of clients backing off from
+// the same overloaded shard does not resynchronize into waves. The zero
+// value selects the defaults.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries, first included (default 4).
 	MaxAttempts int
@@ -102,7 +119,7 @@ func backoffDelay(p RetryPolicy, attempt int, rng *rand.Rand) time.Duration {
 }
 
 // Dial connects to an ibrd server.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -115,6 +132,9 @@ func Dial(addr string) (*Client, error) {
 		reqs:    make(chan reqFrame, 256),
 		done:    make(chan struct{}),
 		pending: map[uint32]chan result{},
+	}
+	for _, o := range opts {
+		o(cl)
 	}
 	go cl.writeLoop()
 	go cl.readLoop()
@@ -133,12 +153,12 @@ func (c *Client) writeLoop() {
 		case <-c.done:
 			return
 		}
-		buf = appendRequest(buf[:0], r.id, r.op, r.key, r.val, r.trace)
+		buf = appendRequest(buf[:0], r.id, r.req)
 	coalesce:
 		for len(buf) < 16*1024 {
 			select {
 			case r = <-c.reqs:
-				buf = appendRequest(buf, r.id, r.op, r.key, r.val, r.trace)
+				buf = appendRequest(buf, r.id, r.req)
 			default:
 				break coalesce
 			}
@@ -157,14 +177,19 @@ func (c *Client) writeLoop() {
 // id is recycled only after its response arrived.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
-	frame := make([]byte, respPayloadLen)
+	frame := make([]byte, 0, respHeaderLen)
 	for {
-		payload, err := readFrame(br, respPayloadLen, frame)
+		payload, err := readFrame(br, maxRespFrame, frame)
 		if err != nil {
 			c.fail(fmt.Errorf("server: connection lost: %w", err))
 			return
 		}
-		id, st, val := parseResponse(payload)
+		frame = payload[:0]
+		id, resp, perr := parseResponse(payload)
+		if perr != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", perr))
+			return
+		}
 		c.pmu.Lock()
 		ch, ok := c.pending[id]
 		delete(c.pending, id)
@@ -173,7 +198,7 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("server: response for unknown request id %d", id))
 			return
 		}
-		ch <- result{resp: Resp{Status: st, Val: val}}
+		ch <- result{resp: resp}
 	}
 }
 
@@ -195,23 +220,35 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// DoContext issues one operation and blocks for its response or the
+// DoContext issues one typed operation and blocks for its response or the
 // context's end, whichever comes first. A non-nil error is either the
 // context's (the call was abandoned; the connection is fine and the client
-// remains usable) or a transport error (the connection is broken and every
-// future call fails the same way). Protocol outcomes like StatusNotFound
-// are returned in Resp, not as errors. A trace ID attached to ctx with
-// WithTraceID rides the request frame to the serving worker.
-func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, error) {
+// remains usable), a transport error (the connection is broken and every
+// future call fails the same way), or — on a WithRetry client — an
+// ErrBusy-wrapping exhaustion error. Protocol outcomes like StatusNotFound
+// or StatusUnsupported are returned in the Response, not as errors. A zero
+// req.TraceID is filled from ctx (see WithTraceID).
+func (c *Client) DoContext(ctx context.Context, req Request) (Response, error) {
+	if req.TraceID == 0 {
+		req.TraceID = TraceIDFrom(ctx)
+	}
+	if c.retry == nil {
+		return c.doOnce(ctx, req)
+	}
+	return c.doRetry(ctx, req, *c.retry)
+}
+
+// doOnce issues req exactly once.
+func (c *Client) doOnce(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
-		return Resp{}, err
+		return Response{}, err
 	}
 	ch := make(chan result, 1)
 	c.pmu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.pmu.Unlock()
-		return Resp{}, err
+		return Response{}, err
 	}
 	// After nextID wraps uint32, the counter can land on an id whose
 	// request is still in flight; assigning it again would overwrite the
@@ -230,7 +267,7 @@ func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, e
 	c.pmu.Unlock()
 
 	select {
-	case c.reqs <- reqFrame{id: id, op: op, key: key, val: val, trace: TraceIDFrom(ctx)}:
+	case c.reqs <- reqFrame{id: id, req: req}:
 	case <-c.done:
 		// The client failed while we were enqueueing; fail() has already
 		// delivered the error to ch (we registered before selecting).
@@ -244,7 +281,7 @@ func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, e
 		delete(c.pending, id)
 		c.pmu.Unlock()
 		if mine {
-			return Resp{}, ctx.Err()
+			return Response{}, ctx.Err()
 		}
 		r := <-ch
 		return r.resp, r.err
@@ -258,31 +295,16 @@ func (c *Client) DoContext(ctx context.Context, op Op, key, val uint64) (Resp, e
 		// recognize the id and discards the result into the buffered
 		// channel. Deleting it here would make the response "unknown" and
 		// kill the whole connection.
-		return Resp{}, ctx.Err()
+		return Response{}, ctx.Err()
 	}
 }
 
-// Do issues one operation with no deadline.
-//
-// Deprecated: use DoContext, which bounds the wait and keeps the client
-// usable when a caller gives up.
-func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
-	return c.DoContext(context.Background(), op, key, val)
-}
-
-// DoRetry issues one operation, retrying StatusBusy responses — queue-full,
-// shedding, and pool-exhaustion backpressure — under p with jittered
-// exponential backoff until the context ends or attempts run out. On
-// exhaustion it returns the last busy Resp and an error wrapping ErrBusy,
-// so callers distinguish "the server kept refusing" (errors.Is ErrBusy)
-// from a broken connection. Other statuses and transport errors return
-// immediately, unretried.
-func (c *Client) DoRetry(ctx context.Context, op Op, key, val uint64, p RetryPolicy) (Resp, error) {
-	p = p.withDefaults()
-	var resp Resp
+// doRetry issues req, retrying StatusBusy under p (see WithRetry).
+func (c *Client) doRetry(ctx context.Context, req Request, p RetryPolicy) (Response, error) {
+	var resp Response
 	for attempt := 0; ; attempt++ {
 		var err error
-		resp, err = c.DoContext(ctx, op, key, val)
+		resp, err = c.doOnce(ctx, req)
 		if err != nil {
 			return resp, err
 		}
@@ -303,14 +325,55 @@ func (c *Client) DoRetry(ctx context.Context, op Op, key, val uint64, p RetryPol
 	}
 }
 
-// Retries returns how many re-submissions DoRetry has made after busy
-// responses over the client's lifetime — the load generator's retry-rate
-// counter.
+// Get looks key up.
+func (c *Client) Get(ctx context.Context, key uint64) (Response, error) {
+	return c.DoContext(ctx, Request{Op: OpGet, Key: key})
+}
+
+// Put inserts key→val if absent. ttl, when positive, arms the server-side
+// expiry: the key is removed — through the reclamation scheme's normal
+// retire path — once it lapses. Pass 0 for no expiry.
+func (c *Client) Put(ctx context.Context, key, val uint64, ttl time.Duration) (Response, error) {
+	return c.DoContext(ctx, Request{Op: OpPut, Key: key, Val: val, TTL: ttl})
+}
+
+// Del removes key.
+func (c *Client) Del(ctx context.Context, key uint64) (Response, error) {
+	return c.DoContext(ctx, Request{Op: OpDel, Key: key})
+}
+
+// Range scans [from, hi] ascending, returning at most limit pairs (0 =
+// the server's default cap). The scan executes inside one reservation
+// interval per shard — it is the paper's long-running read, issued over
+// the wire.
+func (c *Client) Range(ctx context.Context, from, hi uint64, limit uint32) (Response, error) {
+	return c.DoContext(ctx, Request{Op: OpRange, Key: from, KeyHi: hi, Limit: limit})
+}
+
+// Do issues one positional operation with no deadline.
+//
+// Deprecated: use DoContext with a typed Request (or the Get/Put/Del/Range
+// helpers), which bounds the wait and keeps the client usable when a
+// caller gives up.
+func (c *Client) Do(op Op, key, val uint64) (Resp, error) {
+	return c.DoContext(context.Background(), Request{Op: op, Key: key, Val: val})
+}
+
+// DoRetry issues one positional operation, retrying StatusBusy under p.
+//
+// Deprecated: dial with WithRetry(p) instead; DoContext then retries
+// transparently.
+func (c *Client) DoRetry(ctx context.Context, op Op, key, val uint64, p RetryPolicy) (Resp, error) {
+	return c.doRetry(ctx, Request{Op: op, Key: key, Val: val, TraceID: TraceIDFrom(ctx)}, p.withDefaults())
+}
+
+// Retries returns how many busy re-submissions the client's retry policy
+// has made over its lifetime — the load generator's retry-rate counter.
 func (c *Client) Retries() uint64 { return c.retries.Load() }
 
 // PingContext round-trips a no-op frame under ctx.
 func (c *Client) PingContext(ctx context.Context) error {
-	r, err := c.DoContext(ctx, OpPing, 0, 42)
+	r, err := c.DoContext(ctx, Request{Op: OpPing, Val: 42})
 	if err != nil {
 		return err
 	}

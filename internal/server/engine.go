@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -48,6 +49,12 @@ const (
 	// opCtlQuarantine: clean up the quarantined tid in key — clear its
 	// reservation, adopt its retire list, return its lease to the free pool.
 	opCtlQuarantine Op = 0xF1
+	// opCtlExpire: remove the TTL-lapsed keys carried in the request's exp
+	// batch. The removals run under the worker's leased tid, tagged
+	// core.SourceExpiry, and retire nodes through the exact path user
+	// deletes take — expirations compete with client work for the same
+	// scan capacity, which is the point.
+	opCtlExpire Op = 0xF2
 )
 
 // EngineConfig sizes the sharded engine. The zero value of every field
@@ -110,6 +117,17 @@ type EngineConfig struct {
 	// immediately instead of waiting for that cleanup.
 	SpareTids int
 
+	// MaxRangeResults caps one Range's result count (default 65536, the
+	// protocol ceiling); a request's Limit of 0 selects it, larger limits
+	// clamp to it. A full-limit scan is deliberately large — it is the
+	// paper's long-running read, executed inside one reservation interval
+	// per shard.
+	MaxRangeResults int
+	// ExpiryGranularity is the TTL expiry wheel's slot width (default
+	// 50ms): deadlines round to it, and expirations lag it by up to one
+	// remediator tick. Sub-tick TTL precision is explicitly not a goal.
+	ExpiryGranularity time.Duration
+
 	// testExecHook, when set, runs at the top of every data-path exec with
 	// the request's op and key. Tests use it to inject faults (panics,
 	// delays) inside a worker; it is deliberately unexported.
@@ -153,24 +171,26 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if c.SpareTids <= 0 {
 		c.SpareTids = 2
 	}
+	if c.MaxRangeResults <= 0 || c.MaxRangeResults > maxRangeLimit {
+		c.MaxRangeResults = maxRangeLimit
+	}
+	if c.ExpiryGranularity <= 0 {
+		c.ExpiryGranularity = 50 * time.Millisecond
+	}
 	return c
-}
-
-// Resp is the engine-level result of one operation.
-type Resp struct {
-	Status Status
-	Val    uint64
 }
 
 // request is one queued operation. done is invoked exactly once, on the
 // shard worker that executed the request; it must not block (connection
 // handlers guarantee buffer space via their in-flight cap). Control
-// requests (op >= opCtlBase) carry a nil done.
+// requests (req.Op >= opCtlBase) carry a nil done. A Range's per-shard legs
+// carry rng instead of done: the collector invokes the caller's done once
+// every leg has reported. An opCtlExpire carries its due-key batch in exp.
 type request struct {
-	op       Op
-	key, val uint64
-	trace    uint64 // wire trace ID; non-zero requests record op spans
-	done     func(Resp)
+	req  Request
+	done func(Response)
+	rng  *rangeOp
+	exp  []expEntry
 }
 
 // shard is one slice of the key space: a private structure + scheme +
@@ -185,6 +205,7 @@ type shard struct {
 	q      *reqQueue
 	leases *leaseTable
 	ops    atomic.Uint64
+	wheel  *expiryWheel // TTL expiry (always built; idle when no TTLs arrive)
 
 	// Admission control: softCap/hardCap are the watermark fractions applied
 	// to the shard pool's slot capacity; resumeCap is the hysteresis floor
@@ -203,6 +224,23 @@ type shard struct {
 	shedEpisodes  atomic.Uint64 // shedding activations
 	poolExhausted atomic.Uint64 // Puts answered StatusBusy for pool exhaustion
 	deaths        atomic.Uint64 // worker goroutines lost to panics
+	expired       atomic.Uint64 // keys removed by TTL expiry (ibr_expired_total)
+	rangeOps      atomic.Uint64 // range legs executed on this shard
+	activeScans   atomic.Int64  // range legs currently inside their reservation
+	underScanHW   atomic.Int64  // high-water unreclaimed sampled while a scan was active
+}
+
+// noteUnderScan folds one unreclaimed sample, taken while a range leg held
+// its reservation, into the shard's high-water mark. The mark is what the
+// EXPERIMENTS recipe reads: EBR's grows with scan length, the interval
+// schemes' stays bounded.
+func (sh *shard) noteUnderScan(un int) {
+	for {
+		cur := sh.underScanHW.Load()
+		if int64(un) <= cur || sh.underScanHW.CompareAndSwap(cur, int64(un)) {
+			return
+		}
+	}
 }
 
 // Engine is the sharded KV engine behind the server.
@@ -210,6 +248,7 @@ type Engine struct {
 	cfg        EngineConfig
 	shards     []*shard
 	tids       int        // scheme tids per shard: workers + stallers + spares
+	ranging    bool       // the structure implements ds.Ranger
 	obs        *EngineObs // nil when cfg.Obs is nil
 	wg         sync.WaitGroup
 	stallStop  chan struct{} // nil unless cfg.Stalled > 0
@@ -255,12 +294,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		if i == 0 {
+			_, e.ranging = m.(ds.Ranger)
+		}
 		sh := &shard{
 			idx:    i,
 			m:      m,
 			inst:   m.(ds.Instrumented),
 			q:      newReqQueue(cfg.QueueDepth),
 			leases: newLeaseTable(e.tids),
+			wheel:  newExpiryWheel(cfg.ExpiryGranularity, time.Now().UnixNano()),
 		}
 		cap := sh.inst.PoolStats().Capacity
 		sh.softCap = int(float64(cap) * cfg.SoftWatermark)
@@ -397,7 +440,7 @@ func (e *Engine) remediator() {
 			}
 			if un >= sh.softCap {
 				sh.drainGen.Add(1)
-				sh.q.pushControl(request{op: opCtlDrain})
+				sh.q.pushControl(request{req: Request{Op: opCtlDrain}})
 				// Couple the scheme's adaptive drain to the admission signal:
 				// above the soft watermark, space is the binding constraint,
 				// so workers stop backing off futile scans and probe at the
@@ -405,6 +448,15 @@ func (e *Engine) remediator() {
 				core.SetDrainPressure(s, true)
 			} else {
 				core.SetDrainPressure(s, false)
+			}
+
+			// TTL expiry: collect the keys whose deadline passed and hand
+			// them to a worker as one control batch. Collection is cheap
+			// (the wheel only walks slots the clock crossed), and execution
+			// on a worker keeps the one-goroutine-per-tid contract — the
+			// remediator never touches the structure itself.
+			if due := sh.wheel.collectDue(now.UnixNano(), nil); len(due) > 0 {
+				sh.q.pushControl(request{req: Request{Op: opCtlExpire}, exp: due})
 			}
 
 			snaps[si] = sh.leases.snapshot(snaps[si])
@@ -450,7 +502,7 @@ func (e *Engine) tryQuarantine(sh *shard, tid int, role leaseRole, deficit *int)
 		return
 	}
 	sh.quarantines.Add(1)
-	sh.q.pushControl(request{op: opCtlQuarantine, key: uint64(tid)})
+	sh.q.pushControl(request{req: Request{Op: opCtlQuarantine, Key: uint64(tid)}})
 	if role == roleWorker {
 		*deficit++
 	}
@@ -472,37 +524,72 @@ func shardFor(key uint64, n int) int {
 	return int((z ^ (z >> 31)) % uint64(n))
 }
 
-// Submit enqueues one operation on its key's shard. If it returns nil,
-// done will be called exactly once (on a shard worker); if it returns
+// SubmitRequest enqueues one typed operation. If it returns nil, done will
+// be called exactly once — usually on a shard worker, but semantic
+// rejections (an unsupported or malformed Range) answer synchronously, so
+// done must tolerate running on the submitting goroutine. If it returns
 // ErrClosed, ErrBusy, or ErrShedding, the operation was rejected and done
 // is never called. done must not block.
-func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
-	return e.SubmitTraced(op, key, val, 0, done)
-}
-
-// SubmitTraced is Submit carrying a causal trace ID: when observability is
-// on and trace is non-zero, the worker that executes the request records an
-// op span under the ID into its flight-recorder ring, so the request shows
-// up on /debug/trace next to the shard's scan and block-lifecycle spans.
-func (e *Engine) SubmitTraced(op Op, key, val, trace uint64, done func(Resp)) error {
-	if !op.valid() {
-		return fmt.Errorf("server: invalid op %d", op)
+//
+// Single-key ops go to their key's shard. A Range fans out to EVERY shard —
+// keys are hashed across them, so each holds an interleaved slice of the
+// interval — and done fires once, with the merged ascending result, after
+// the last shard leg completes. When observability is on, a non-zero
+// TraceID makes the executing worker record an op span under it (see
+// /debug/trace).
+func (e *Engine) SubmitRequest(req Request, done func(Response)) error {
+	if !req.Op.valid() {
+		return fmt.Errorf("server: invalid op %d", req.Op)
 	}
-	sh := e.shards[shardFor(key, len(e.shards))]
+	if req.Op == OpRange {
+		return e.submitRange(req, done)
+	}
+	sh := e.shards[shardFor(req.Key, len(e.shards))]
 	if sh.shedding.Load() {
 		sh.shed.Add(1)
 		return ErrShedding
 	}
-	return sh.q.push(request{op: op, key: key, val: val, trace: trace, done: done})
+	return sh.q.push(request{req: req, done: done})
 }
 
-// Do runs one operation synchronously; tests and simple callers.
-func (e *Engine) Do(op Op, key, val uint64) (Resp, error) {
-	ch := make(chan Resp, 1)
-	if err := e.Submit(op, key, val, func(r Resp) { ch <- r }); err != nil {
-		return Resp{}, err
+// DoContext runs one typed operation synchronously, bounded by ctx. A
+// context end abandons the wait, not the work: an already accepted request
+// still executes and its result is discarded.
+func (e *Engine) DoContext(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
 	}
-	return <-ch, nil
+	ch := make(chan Response, 1)
+	if err := e.SubmitRequest(req, func(r Response) { ch <- r }); err != nil {
+		return Response{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Submit enqueues one positional operation.
+//
+// Deprecated: use SubmitRequest, which carries the full typed Request.
+func (e *Engine) Submit(op Op, key, val uint64, done func(Resp)) error {
+	return e.SubmitRequest(Request{Op: op, Key: key, Val: val}, done)
+}
+
+// SubmitTraced enqueues one positional operation with a causal trace ID.
+//
+// Deprecated: use SubmitRequest with Request.TraceID set.
+func (e *Engine) SubmitTraced(op Op, key, val, trace uint64, done func(Resp)) error {
+	return e.SubmitRequest(Request{Op: op, Key: key, Val: val, TraceID: trace}, done)
+}
+
+// Do runs one positional operation synchronously.
+//
+// Deprecated: use DoContext with a typed Request.
+func (e *Engine) Do(op Op, key, val uint64) (Resp, error) {
+	return e.DoContext(context.Background(), Request{Op: op, Key: key, Val: val})
 }
 
 // maxSpillCap bounds the batch buffer a worker keeps between queue pops.
@@ -535,8 +622,11 @@ func (e *Engine) worker(sh *shard, tid int, gen uint64) {
 		sh.leases.markDead(tid, gen)
 		fmt.Fprintf(os.Stderr, "server: shard %d worker tid %d died: %v\n%s", sh.idx, tid, p, debug.Stack())
 		for ; cur < len(batch); cur++ {
-			if r := &batch[cur]; r.done != nil {
-				r.done(Resp{Status: StatusInternal})
+			r := &batch[cur]
+			if r.rng != nil {
+				r.rng.finish(e, sh, nil, Response{Status: StatusInternal})
+			} else if r.done != nil {
+				r.done(Response{Status: StatusInternal})
 			}
 		}
 	}()
@@ -558,20 +648,26 @@ func (e *Engine) worker(sh *shard, tid int, gen uint64) {
 		}
 		for cur = 0; cur < len(batch); cur++ {
 			r := &batch[cur]
-			if r.op >= opCtlBase {
+			if r.req.Op >= opCtlBase {
 				e.execCtl(sh, tid, r)
 				batch[cur] = request{}
 				continue
 			}
-			var resp Resp
+			if r.rng != nil {
+				e.execRange(sh, tid, r)
+				sh.ops.Add(1)
+				batch[cur] = request{}
+				continue
+			}
+			var resp Response
 			if eo := e.obs; eo != nil {
-				if li := latIndex(r.op); li >= 0 {
+				if li := latIndex(r.req.Op); li >= 0 {
 					t0 := obs.Now()
 					resp = e.exec(sh, tid, r)
 					d := obs.Now() - t0
 					eo.opLat[li].Record(d)
-					if r.trace != 0 {
-						eo.opEvent(sh.idx, tid, r.trace, d)
+					if r.req.TraceID != 0 {
+						eo.opEvent(sh.idx, tid, r.req.TraceID, d)
 					}
 				} else {
 					resp = e.exec(sh, tid, r)
@@ -597,47 +693,60 @@ func trimSpill(batch []request) []request {
 }
 
 // exec runs one request under the worker's leased tid.
-func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
+func (e *Engine) exec(sh *shard, tid int, r *request) Response {
 	if h := e.cfg.testExecHook; h != nil {
-		h(r.op, r.key)
+		h(r.req.Op, r.req.Key)
 	}
-	switch r.op {
+	key := r.req.Key
+	switch r.req.Op {
 	case OpPing:
-		return Resp{Status: StatusOK, Val: r.val}
+		return Response{Status: StatusOK, Val: r.req.Val}
 	case OpGet:
-		if r.key >= ds.KeyLimit {
-			return Resp{Status: StatusBadRequest}
+		if key >= ds.KeyLimit {
+			return Response{Status: StatusBadRequest}
 		}
-		if v, ok := sh.m.Get(tid, r.key); ok {
-			return Resp{Status: StatusOK, Val: v}
+		if v, ok := sh.m.Get(tid, key); ok {
+			return Response{Status: StatusOK, Val: v}
 		}
-		return Resp{Status: StatusNotFound}
+		return Response{Status: StatusNotFound}
 	case OpPut:
-		if r.key >= ds.KeyLimit {
-			return Resp{Status: StatusBadRequest}
+		if key >= ds.KeyLimit {
+			return Response{Status: StatusBadRequest}
 		}
-		if sh.m.Insert(tid, r.key, r.val) {
-			return Resp{Status: StatusOK, Val: r.val}
+		if sh.m.Insert(tid, key, r.req.Val) {
+			// Arm (or, for a plain Put, disarm any stale) expiry only after
+			// the insert succeeded: Put is insert-if-absent, so a losing Put
+			// must not touch the winner's TTL.
+			if r.req.TTL > 0 {
+				sh.wheel.schedule(key, expDeadline(r.req.TTL))
+			} else {
+				sh.wheel.cancel(key)
+			}
+			return Response{Status: StatusOK, Val: r.req.Val}
 		}
 		// A failed insert is ambiguous: the key may exist, or the node
 		// allocation may have failed on an exhausted pool. The scheme
 		// records which; exhaustion is overload, not a data answer.
 		if core.AllocFailed(sh.inst.Scheme(), tid) {
 			sh.poolExhausted.Add(1)
-			return Resp{Status: StatusBusy}
+			return Response{Status: StatusBusy}
 		}
-		return Resp{Status: StatusExists}
+		return Response{Status: StatusExists}
 	case OpDel:
-		if r.key >= ds.KeyLimit {
-			return Resp{Status: StatusBadRequest}
+		if key >= ds.KeyLimit {
+			return Response{Status: StatusBadRequest}
 		}
-		if sh.m.Remove(tid, r.key) {
-			return Resp{Status: StatusOK}
+		if sh.m.Remove(tid, key) {
+			sh.wheel.cancel(key)
+			return Response{Status: StatusOK}
 		}
-		return Resp{Status: StatusNotFound}
+		return Response{Status: StatusNotFound}
 	}
-	return Resp{Status: StatusBadRequest}
+	return Response{Status: StatusBadRequest}
 }
+
+// expDeadline converts a TTL into an absolute UnixNano deadline.
+func expDeadline(ttl time.Duration) int64 { return time.Now().Add(ttl).UnixNano() }
 
 // execCtl runs one control request under the worker's leased tid. The
 // quarantine cleanup lives here — on a worker, not on the remediator — so
@@ -645,11 +754,23 @@ func (e *Engine) exec(sh *shard, tid int, r *request) Resp {
 // one-goroutine-per-tid contract holds throughout.
 func (e *Engine) execCtl(sh *shard, tid int, r *request) {
 	s := sh.inst.Scheme()
-	switch r.op {
+	switch r.req.Op {
 	case opCtlDrain:
 		s.Drain(tid)
+	case opCtlExpire:
+		// Tag the batch's retirements as expiry-driven, then remove through
+		// the ordinary structure path: each removal retires its node into
+		// this worker's retire list exactly as a client delete would, so
+		// expirations and user deletes compete for the same scan capacity.
+		core.SetRetireSource(s, tid, core.SourceExpiry)
+		for _, en := range r.exp {
+			if en.key < ds.KeyLimit && sh.m.Remove(tid, en.key) {
+				sh.expired.Add(1)
+			}
+		}
+		core.SetRetireSource(s, tid, core.SourceUser)
 	case opCtlQuarantine:
-		qt := int(r.key)
+		qt := int(r.req.Key)
 		// Re-verify under the lease lock: a concurrent cleanup of the same
 		// tid (duplicate control op) or Close may have resolved it already.
 		if !sh.leases.cleanable(qt) {
@@ -742,6 +863,15 @@ type ShardStats struct {
 	PoolExhausted uint64 // Puts answered StatusBusy on pool exhaustion
 	Deaths        uint64 // worker goroutines lost to panics
 	Shedding      bool   // currently above the hard watermark
+
+	// Range and TTL activity.
+	RangeOps      uint64 // range legs executed on this shard
+	ActiveScans   int64  // range legs currently holding a reservation
+	UnderScanHW   int64  // peak unreclaimed sampled while a scan was active
+	Expired       uint64 // keys removed by TTL expiry
+	ExpiryPending int    // keys currently armed in the expiry wheel
+	RetiredUser   uint64 // retirements caused by client operations
+	RetiredExpiry uint64 // retirements caused by TTL expiry
 }
 
 // Stats snapshots every shard. Safe to call concurrently with serving.
@@ -760,8 +890,15 @@ func (e *Engine) Stats() []ShardStats {
 			PoolExhausted: sh.poolExhausted.Load(),
 			Deaths:        sh.deaths.Load(),
 			Shedding:      sh.shedding.Load(),
+			RangeOps:      sh.rangeOps.Load(),
+			ActiveScans:   sh.activeScans.Load(),
+			UnderScanHW:   sh.underScanHW.Load(),
+			Expired:       sh.expired.Load(),
+			ExpiryPending: sh.wheel.pending(),
 		}
 		s := sh.inst.Scheme()
+		src := core.RetireSources(s)
+		st.RetiredUser, st.RetiredExpiry = src[core.SourceUser], src[core.SourceExpiry]
 		if sc, ok := s.(interface{ ScanStats() core.ScanStats }); ok {
 			st.Scan = sc.ScanStats()
 		}

@@ -26,6 +26,13 @@ type statsSnapshot struct {
 	PoolExhausted   uint64       `json:"pool_exhausted"`
 	Deaths          uint64       `json:"worker_deaths"`
 	SheddingShards  int          `json:"shedding_shards"`
+	RangeLegs       uint64       `json:"range_legs"`
+	ActiveScans     int64        `json:"active_scans"`
+	UnderScanHW     int64        `json:"unreclaimed_under_scan_hw"`
+	Expired         uint64       `json:"expired"`
+	ExpiryPending   int          `json:"expiry_pending"`
+	RetiredUser     uint64       `json:"retired_user"`
+	RetiredExpiry   uint64       `json:"retired_expiry"`
 	PerShard        []shardStats `json:"per_shard"`
 }
 
@@ -41,6 +48,9 @@ type shardStats struct {
 	ScanFreed    uint64 `json:"scan_freed"`
 	Quarantines  uint64 `json:"tid_quarantines"`
 	Shedding     bool   `json:"shedding"`
+	RangeLegs    uint64 `json:"range_legs"`
+	UnderScanHW  int64  `json:"unreclaimed_under_scan_hw"`
+	Expired      uint64 `json:"expired"`
 }
 
 // snapshot builds the exported view from a live Stats() pass.
@@ -73,11 +83,21 @@ func (e *Engine) snapshot() statsSnapshot {
 		if s.Shedding {
 			out.SheddingShards++
 		}
+		out.RangeLegs += s.RangeOps
+		out.ActiveScans += s.ActiveScans
+		if s.UnderScanHW > out.UnderScanHW {
+			out.UnderScanHW = s.UnderScanHW
+		}
+		out.Expired += s.Expired
+		out.ExpiryPending += s.ExpiryPending
+		out.RetiredUser += s.RetiredUser
+		out.RetiredExpiry += s.RetiredExpiry
 		out.PerShard[i] = shardStats{
 			Ops: s.Ops, QueueDepth: s.QueueDepth, Unreclaimed: s.Unreclaimed,
 			Epoch: s.Epoch, EpochLag: s.EpochLag, Live: s.Live,
 			Scans: s.Scan.Scans, ScanExamined: s.Scan.Scanned, ScanFreed: s.Scan.Freed,
 			Quarantines: s.Quarantines, Shedding: s.Shedding,
+			RangeLegs: s.RangeOps, UnderScanHW: s.UnderScanHW, Expired: s.Expired,
 		}
 	}
 	if out.Scans > 0 {

@@ -13,13 +13,19 @@ const (
 	latGet = iota
 	latPut
 	latDel
+	latRange
 	latKinds
 )
 
-// latNames are the `op` label values of ibr_op_latency_ns.
-var latNames = [latKinds]string{"get", "put", "del"}
+// latNames are the `op` label values of ibr_op_latency_ns. The range slot
+// measures one shard LEG's scan (the span a reservation is actually held),
+// not the merged client-visible latency — that is the load generator's to
+// report.
+var latNames = [latKinds]string{"get", "put", "del", "range"}
 
 // latIndex maps a wire op to its latency slot (-1 for ops not measured).
+// OpRange is absent deliberately: its legs are timed in execRange, not by
+// the worker's generic path.
 func latIndex(op Op) int {
 	switch op {
 	case OpGet:
@@ -48,6 +54,7 @@ type EngineObs struct {
 	freeBatch    *obs.Hist
 	phases       *obs.ScanPhases // scan-phase breakdown, shared across shards
 	opLat        [latKinds]*obs.Hist
+	rangeLen     *obs.Hist // merged result sizes of completed Ranges
 	watchdog     *obs.Watchdog
 }
 
@@ -65,6 +72,7 @@ func newEngineObs(o obs.Options, shards, workers int) *EngineObs {
 		scanDur:      &obs.Hist{},
 		freeBatch:    &obs.Hist{},
 		phases:       &obs.ScanPhases{},
+		rangeLen:     &obs.Hist{},
 	}
 	for i := range eo.opLat {
 		eo.opLat[i] = &obs.Hist{}
@@ -185,6 +193,14 @@ func (eo *EngineObs) OpLatency(i int) obs.HistSnapshot {
 		return obs.HistSnapshot{}
 	}
 	return eo.opLat[i].Snapshot()
+}
+
+// RangeLen snapshots the merged result-size histogram of completed Ranges.
+func (eo *EngineObs) RangeLen() obs.HistSnapshot {
+	if eo == nil {
+		return obs.HistSnapshot{}
+	}
+	return eo.rangeLen.Snapshot()
 }
 
 // RetireAge snapshots shard i's retire→free age histogram (epochs).

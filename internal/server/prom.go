@@ -107,6 +107,32 @@ func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
 		p.Uint("ibr_worker_deaths_total", shardLabel[i], s.Deaths)
 	}
 
+	p.Header("ibr_range_legs_total", "counter", "Range scan legs executed per shard (one reservation interval each).")
+	for i, s := range stats {
+		p.Uint("ibr_range_legs_total", shardLabel[i], s.RangeOps)
+	}
+	p.Header("ibr_active_scans", "gauge", "Range legs currently holding a reservation per shard.")
+	for i, s := range stats {
+		p.Int("ibr_active_scans", shardLabel[i], s.ActiveScans)
+	}
+	p.Header("ibr_unreclaimed_under_scan", "gauge", "Peak retired-but-unreclaimed blocks sampled while a range leg held its reservation, per shard — EBR's grows with scan length, the interval schemes' stays bounded.")
+	for i, s := range stats {
+		p.Int("ibr_unreclaimed_under_scan", shardLabel[i], s.UnderScanHW)
+	}
+	p.Header("ibr_expired_total", "counter", "Keys removed by TTL expiry per shard (each retires through the normal scheme path).")
+	for i, s := range stats {
+		p.Uint("ibr_expired_total", shardLabel[i], s.Expired)
+	}
+	p.Header("ibr_expiry_pending", "gauge", "Keys currently armed in the expiry wheel per shard.")
+	for i, s := range stats {
+		p.Int("ibr_expiry_pending", shardLabel[i], int64(s.ExpiryPending))
+	}
+	p.Header("ibr_retired_total", "counter", "Node retirements per shard, split by what caused them (user delete vs TTL expiry).")
+	for i, s := range stats {
+		p.Uint("ibr_retired_total", append(shardLabel[i], obs.Label{K: "source", V: "user"}), s.RetiredUser)
+		p.Uint("ibr_retired_total", append(shardLabel[i], obs.Label{K: "source", V: "expiry"}), s.RetiredExpiry)
+	}
+
 	p.Header("ibr_pool_cache_hits_total", "counter", "Thread-cache Alloc hits per shard pool.")
 	p.Header("ibr_pool_cache_misses_total", "counter", "Thread-cache Alloc misses per shard pool.")
 	p.Header("ibr_pool_global_refills_total", "counter", "Cache refills served by the global free list per shard pool.")
@@ -129,10 +155,12 @@ func (e *Engine) WriteMetrics(w io.Writer, srv *Server) error {
 		p.Histogram("ibr_scan_duration_ns", scheme, eo.scanDur.Snapshot())
 		p.Header("ibr_free_batch_size", "histogram", "Blocks freed per scan (zero-free scans included).")
 		p.Histogram("ibr_free_batch_size", scheme, eo.freeBatch.Snapshot())
-		p.Header("ibr_op_latency_ns", "histogram", "In-shard execution latency per op type in nanoseconds.")
+		p.Header("ibr_op_latency_ns", "histogram", "In-shard execution latency per op type in nanoseconds (range = one shard leg's scan).")
 		for i, h := range eo.opLat {
 			p.Histogram("ibr_op_latency_ns", []obs.Label{{K: "op", V: latNames[i]}}, h.Snapshot())
 		}
+		p.Header("ibr_range_len", "histogram", "Merged result sizes of completed Range scans, in pairs.")
+		p.Histogram("ibr_range_len", nil, eo.rangeLen.Snapshot())
 		p.Header("ibr_scan_phase_ns", "histogram", "Scan wall time by phase: summarize, bucket_decide, residual_sweep, free_batch.")
 		for ph := 0; ph < obs.NumScanPhases; ph++ {
 			p.Histogram("ibr_scan_phase_ns", []obs.Label{{K: "phase", V: obs.PhaseNames[ph]}}, eo.phases[ph].Snapshot())

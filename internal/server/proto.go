@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Op is a wire operation code.
@@ -30,10 +31,17 @@ const (
 	OpGet
 	// OpPut inserts key→val if absent: StatusOK, or StatusExists. The
 	// insert-if-absent semantics mirror ds.Map.Insert exactly, which keeps
-	// server histories checkable by internal/lincheck.
+	// server histories checkable by internal/lincheck. A Put may carry a
+	// TTL; the engine's expiry wheel then retires the key when it lapses.
 	OpPut
 	// OpDel removes a key: StatusOK, or StatusNotFound.
 	OpDel
+	// OpRange scans [Key, KeyHi] in ascending key order, returning up to
+	// Limit pairs. The whole scan executes inside one scheme reservation
+	// interval per shard — the paper's long-running read, end to end. On a
+	// structure without ordered iteration the engine answers
+	// StatusUnsupported.
+	OpRange
 )
 
 func (o Op) String() string {
@@ -46,18 +54,21 @@ func (o Op) String() string {
 		return "PUT"
 	case OpDel:
 		return "DEL"
+	case OpRange:
+		return "RANGE"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
 // valid reports whether o is a known operation code.
-func (o Op) valid() bool { return o >= OpPing && o <= OpDel }
+func (o Op) valid() bool { return o >= OpPing && o <= OpRange }
 
 // Status is a wire response code.
 type Status uint8
 
 const (
-	// StatusOK: the operation succeeded (Get hit, Put inserted, Del removed).
+	// StatusOK: the operation succeeded (Get hit, Put inserted, Del removed,
+	// Range scanned — possibly to an empty result).
 	StatusOK Status = iota
 	// StatusNotFound: Get or Del on an absent key.
 	StatusNotFound
@@ -73,6 +84,11 @@ const (
 	// operation's effect is unknown. The shard itself keeps serving — a
 	// replacement worker takes over the tid's duties.
 	StatusInternal
+	// StatusUnsupported: the operation is well-formed but the serving
+	// structure cannot execute it (OpRange on a structure without ordered
+	// iteration). A typed answer, not a protocol error: the connection
+	// stays up and the client sees a Response, not a torn stream.
+	StatusUnsupported
 )
 
 func (s Status) String() string {
@@ -91,37 +107,124 @@ func (s Status) String() string {
 		return "BAD_REQUEST"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusUnsupported:
+		return "UNSUPPORTED"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
 
-// Frame layout. Every frame is a 4-byte big-endian payload length followed
-// by the payload. Payloads are fixed-size per direction:
+// Request is one typed operation, the unit of the client and engine APIs.
+// Fields beyond Op/Key are op-specific and ignored elsewhere: Val is Put's
+// value (and Ping's echo payload), KeyHi and Limit shape a Range, TTL arms
+// Put's expiry. The zero value of every optional field means "absent".
+type Request struct {
+	// Op selects the operation.
+	Op Op
+	// Key is the operation's key; for Range, the inclusive lower bound.
+	Key uint64
+	// KeyHi is Range's inclusive upper bound (ignored by other ops).
+	KeyHi uint64
+	// Val is Put's value and Ping's echo payload.
+	Val uint64
+	// TTL, when positive on a Put, schedules the key's expiry: once it
+	// lapses the engine removes the key through the normal scheme retire
+	// path, exactly as a user delete would. Wire granularity is 1ms;
+	// sub-millisecond TTLs round up. Zero means no expiry.
+	TTL time.Duration
+	// Limit caps Range's result count; 0 selects the engine's default
+	// (EngineConfig.MaxRangeResults).
+	Limit uint32
+	// TraceID is a causal trace ID (0 = untraced): the worker executing a
+	// traced request records an op span under it, joining the request to
+	// its shard's reclamation timeline on /debug/trace. Client.DoContext
+	// fills it from the context (WithTraceID) when unset.
+	TraceID uint64
+}
+
+// Pair is one key→value result of a Range scan.
+type Pair struct {
+	Key, Val uint64
+}
+
+// Response is one operation's result. Pairs is set only for Range (ascending
+// key order, length ≤ the effective limit); every other op answers through
+// Status and Val.
+type Response struct {
+	Status Status
+	Val    uint64
+	Pairs  []Pair
+}
+
+// Resp is the former name of Response, kept as an alias so pre-v2 callers
+// compile unchanged.
 //
-//	request:  id uint32 | op uint8  | key uint64 | val uint64 | trace uint64  (29 bytes)
-//	response: id uint32 | st uint8  | val uint64                             (13 bytes)
+// Deprecated: use Response.
+type Resp = Response
+
+// Frame layout. Every frame is a 4-byte big-endian payload length followed
+// by the payload:
+//
+//	request v2: id u32 | op u8 | key u64 | keyHi u64 | val u64 | ttlMs u32 | limit u32 | trace u64  (45 bytes)
+//	request v1: id u32 | op u8 | key u64 | val u64 | trace u64                                      (29 bytes, legacy)
+//	response:   id u32 | st u8 | val u64 | npairs u32 | npairs × (key u64 | val u64)                (17 + 16·npairs bytes)
 //
 // id is a connection-scoped request identifier chosen by the client; the
 // server echoes it, so responses may complete out of order and clients can
-// pipeline arbitrarily deep. trace is a client-chosen causal trace ID
-// (0 = untraced): the worker executing a traced request records an op span
-// under the ID in its flight-recorder ring, so the request joins its
-// shard's reclamation timeline on /debug/trace (see WithTraceID). The
-// explicit length prefix (rather than bare fixed frames) keeps the protocol
-// evolvable — growing the request payload for the trace field was exactly
-// such an evolution — and lets both ends reject a desynchronized stream
-// immediately.
+// pipeline arbitrarily deep. The explicit length prefix (rather than bare
+// fixed frames) is what makes the protocol evolvable: the server tells v1
+// and v2 requests apart by announced length alone and fills the missing v2
+// fields with zero, so old clients keep working against a v2 server; and
+// responses became variable-length the moment Range needed to carry pairs,
+// with no version byte anywhere. Both ends still reject a desynchronized or
+// hostile stream immediately via the per-direction length bounds.
 const (
-	reqPayloadLen  = 29
-	respPayloadLen = 13
-	// maxFrame bounds any announced payload length; longer prefixes mean a
-	// desynchronized or hostile stream.
-	maxFrame = 1 << 10
+	reqPayloadV1Len = 29
+	reqPayloadV2Len = 45
+	respHeaderLen   = 17
+	pairLen         = 16
+	// maxReqFrame bounds announced request payload lengths. Requests are
+	// small and fixed-size; anything larger is a desynchronized stream.
+	maxReqFrame = reqPayloadV2Len
+	// maxRespFrame bounds announced response payload lengths: the header
+	// plus a full default-limit range result, with headroom. Engines cap
+	// range results well below this (MaxRangeResults ≤ 64k pairs = 1MiB).
+	maxRespFrame = 2 << 20
+	// maxRangeLimit is the protocol-level ceiling on one Range's result
+	// count; it keeps every well-formed response under maxRespFrame.
+	maxRangeLimit = 1 << 16
 )
 
-// appendRequest appends one encoded request frame to b.
-func appendRequest(b []byte, id uint32, op Op, key, val, trace uint64) []byte {
-	b = binary.BigEndian.AppendUint32(b, reqPayloadLen)
+// ttlToWire converts a TTL to its millisecond wire form: 0 stays 0 (no
+// expiry), positive values round up so a 200µs TTL does not silently become
+// immortal, and overflow clamps to the ~49-day wire maximum.
+func ttlToWire(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	if ttl >= time.Duration(^uint32(0))*time.Millisecond {
+		return ^uint32(0)
+	}
+	return uint32((ttl + time.Millisecond - 1) / time.Millisecond)
+}
+
+// appendRequest appends one encoded v2 request frame to b.
+func appendRequest(b []byte, id uint32, r Request) []byte {
+	b = binary.BigEndian.AppendUint32(b, reqPayloadV2Len)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = append(b, byte(r.Op))
+	b = binary.BigEndian.AppendUint64(b, r.Key)
+	b = binary.BigEndian.AppendUint64(b, r.KeyHi)
+	b = binary.BigEndian.AppendUint64(b, r.Val)
+	b = binary.BigEndian.AppendUint32(b, ttlToWire(r.TTL))
+	b = binary.BigEndian.AppendUint32(b, r.Limit)
+	return binary.BigEndian.AppendUint64(b, r.TraceID)
+}
+
+// appendRequestV1 appends one encoded legacy (29-byte) request frame to b.
+// Only tests use it — it pins the compatibility promise that a v2 server
+// keeps accepting pre-range clients.
+func appendRequestV1(b []byte, id uint32, op Op, key, val, trace uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, reqPayloadV1Len)
 	b = binary.BigEndian.AppendUint32(b, id)
 	b = append(b, byte(op))
 	b = binary.BigEndian.AppendUint64(b, key)
@@ -130,49 +233,88 @@ func appendRequest(b []byte, id uint32, op Op, key, val, trace uint64) []byte {
 }
 
 // appendResponse appends one encoded response frame to b.
-func appendResponse(b []byte, id uint32, st Status, val uint64) []byte {
-	b = binary.BigEndian.AppendUint32(b, respPayloadLen)
+func appendResponse(b []byte, id uint32, r Response) []byte {
+	n := respHeaderLen + pairLen*len(r.Pairs)
+	b = binary.BigEndian.AppendUint32(b, uint32(n))
 	b = binary.BigEndian.AppendUint32(b, id)
-	b = append(b, byte(st))
-	return binary.BigEndian.AppendUint64(b, val)
+	b = append(b, byte(r.Status))
+	b = binary.BigEndian.AppendUint64(b, r.Val)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Pairs)))
+	for _, p := range r.Pairs {
+		b = binary.BigEndian.AppendUint64(b, p.Key)
+		b = binary.BigEndian.AppendUint64(b, p.Val)
+	}
+	return b
 }
 
-// readFrame reads one length-prefixed payload into buf (reused across
-// calls) and returns it. want is the payload length this direction demands;
-// any other announced length is a protocol error.
-func readFrame(r *bufio.Reader, want int, buf []byte) ([]byte, error) {
+// readFrame reads one length-prefixed payload into buf (reused and grown
+// across calls) and returns the payload slice. max bounds the announced
+// length for this direction; direction-specific validity (request version
+// lengths, pair-count consistency) is the parser's job.
+func readFrame(r *bufio.Reader, max int, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("server: frame length %d exceeds limit %d", n, maxFrame)
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > max {
+		return nil, fmt.Errorf("server: frame length %d exceeds limit %d", n, max)
 	}
-	if int(n) != want {
-		return nil, fmt.Errorf("server: frame length %d, want %d", n, want)
+	if cap(buf) < n {
+		buf = make([]byte, n)
 	}
-	buf = buf[:want]
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
-// parseRequest decodes a request payload (length already validated).
-func parseRequest(p []byte) (id uint32, op Op, key, val, trace uint64) {
-	id = binary.BigEndian.Uint32(p[0:4])
-	op = Op(p[4])
-	key = binary.BigEndian.Uint64(p[5:13])
-	val = binary.BigEndian.Uint64(p[13:21])
-	trace = binary.BigEndian.Uint64(p[21:29])
+// parseRequest decodes a request payload, accepting both the legacy v1 and
+// the current v2 layout by length; v1 requests get zero KeyHi/TTL/Limit.
+func parseRequest(p []byte) (id uint32, req Request, err error) {
+	switch len(p) {
+	case reqPayloadV1Len:
+		id = binary.BigEndian.Uint32(p[0:4])
+		req.Op = Op(p[4])
+		req.Key = binary.BigEndian.Uint64(p[5:13])
+		req.Val = binary.BigEndian.Uint64(p[13:21])
+		req.TraceID = binary.BigEndian.Uint64(p[21:29])
+	case reqPayloadV2Len:
+		id = binary.BigEndian.Uint32(p[0:4])
+		req.Op = Op(p[4])
+		req.Key = binary.BigEndian.Uint64(p[5:13])
+		req.KeyHi = binary.BigEndian.Uint64(p[13:21])
+		req.Val = binary.BigEndian.Uint64(p[21:29])
+		req.TTL = time.Duration(binary.BigEndian.Uint32(p[29:33])) * time.Millisecond
+		req.Limit = binary.BigEndian.Uint32(p[33:37])
+		req.TraceID = binary.BigEndian.Uint64(p[37:45])
+	default:
+		err = fmt.Errorf("server: request length %d, want %d (v2) or %d (v1)", len(p), reqPayloadV2Len, reqPayloadV1Len)
+	}
 	return
 }
 
-// parseResponse decodes a response payload (length already validated).
-func parseResponse(p []byte) (id uint32, st Status, val uint64) {
+// parseResponse decodes a response payload, validating that the announced
+// pair count matches the payload length exactly.
+func parseResponse(p []byte) (id uint32, resp Response, err error) {
+	if len(p) < respHeaderLen {
+		return 0, Response{}, fmt.Errorf("server: response length %d, want at least %d", len(p), respHeaderLen)
+	}
 	id = binary.BigEndian.Uint32(p[0:4])
-	st = Status(p[4])
-	val = binary.BigEndian.Uint64(p[5:13])
+	resp.Status = Status(p[4])
+	resp.Val = binary.BigEndian.Uint64(p[5:13])
+	n := int(binary.BigEndian.Uint32(p[13:17]))
+	if len(p) != respHeaderLen+pairLen*n {
+		return 0, Response{}, fmt.Errorf("server: response announces %d pairs but carries %d bytes", n, len(p)-respHeaderLen)
+	}
+	if n > 0 {
+		resp.Pairs = make([]Pair, n)
+		for i := range resp.Pairs {
+			off := respHeaderLen + pairLen*i
+			resp.Pairs[i].Key = binary.BigEndian.Uint64(p[off : off+8])
+			resp.Pairs[i].Val = binary.BigEndian.Uint64(p[off+8 : off+16])
+		}
+	}
 	return
 }

@@ -5,76 +5,158 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 )
 
 func TestProtoRequestRoundTrip(t *testing.T) {
 	var wire []byte
-	type req struct {
-		id       uint32
-		op       Op
-		key, val uint64
-		trace    uint64
+	type fr struct {
+		id  uint32
+		req Request
 	}
-	reqs := []req{
-		{0, OpPing, 0, 42, 0},
-		{1, OpGet, 7, 0, 0xDEADBEEF},
-		{2, OpPut, ^uint64(0), ^uint64(0), ^uint64(0)},
-		{4294967295, OpDel, 1 << 61, 3, 1},
+	frames := []fr{
+		{0, Request{Op: OpPing, Val: 42}},
+		{1, Request{Op: OpGet, Key: 7, TraceID: 0xDEADBEEF}},
+		{2, Request{Op: OpPut, Key: ^uint64(0), Val: ^uint64(0), TTL: 250 * time.Millisecond, TraceID: ^uint64(0)}},
+		{3, Request{Op: OpRange, Key: 10, KeyHi: 1 << 61, Limit: 4096}},
+		{4294967295, Request{Op: OpDel, Key: 1 << 61, TraceID: 1}},
 	}
-	for _, r := range reqs {
-		wire = appendRequest(wire, r.id, r.op, r.key, r.val, r.trace)
+	for _, f := range frames {
+		wire = appendRequest(wire, f.id, f.req)
 	}
 	br := bufio.NewReader(bytes.NewReader(wire))
-	buf := make([]byte, reqPayloadLen)
-	for _, want := range reqs {
-		p, err := readFrame(br, reqPayloadLen, buf)
+	buf := make([]byte, reqPayloadV2Len)
+	for _, want := range frames {
+		p, err := readFrame(br, maxReqFrame, buf)
 		if err != nil {
 			t.Fatalf("readFrame: %v", err)
 		}
-		id, op, key, val, trace := parseRequest(p)
-		if id != want.id || op != want.op || key != want.key || val != want.val || trace != want.trace {
-			t.Fatalf("got (%d %v %d %d %d), want %+v", id, op, key, val, trace, want)
+		id, req, err := parseRequest(p)
+		if err != nil {
+			t.Fatalf("parseRequest: %v", err)
+		}
+		if id != want.id || req != want.req {
+			t.Fatalf("got (%d %+v), want %+v", id, req, want)
 		}
 	}
-	if _, err := readFrame(br, reqPayloadLen, buf); err == nil {
+	if _, err := readFrame(br, maxReqFrame, buf); err == nil {
 		t.Fatal("expected EOF after last frame")
 	}
 }
 
-func TestProtoResponseRoundTrip(t *testing.T) {
-	var wire []byte
-	wire = appendResponse(wire, 9, StatusExists, 77)
-	wire = appendResponse(wire, 10, StatusOK, 0)
+// TestProtoRequestV1Compat pins the evolvability promise: a 29-byte legacy
+// frame still parses, with the v2-only fields zero.
+func TestProtoRequestV1Compat(t *testing.T) {
+	wire := appendRequestV1(nil, 17, OpPut, 5, 99, 0xABC)
 	br := bufio.NewReader(bytes.NewReader(wire))
-	buf := make([]byte, respPayloadLen)
-	p, err := readFrame(br, respPayloadLen, buf)
+	p, err := readFrame(br, maxReqFrame, nil)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("readFrame: %v", err)
 	}
-	if id, st, val := parseResponse(p); id != 9 || st != StatusExists || val != 77 {
-		t.Fatalf("got (%d %v %d)", id, st, val)
-	}
-	p, err = readFrame(br, respPayloadLen, buf)
+	id, req, err := parseRequest(p)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("parseRequest: %v", err)
 	}
-	if id, st, val := parseResponse(p); id != 10 || st != StatusOK || val != 0 {
-		t.Fatalf("got (%d %v %d)", id, st, val)
+	want := Request{Op: OpPut, Key: 5, Val: 99, TraceID: 0xABC}
+	if id != 17 || req != want {
+		t.Fatalf("got (%d %+v), want (17 %+v)", id, req, want)
+	}
+	if req.TTL != 0 || req.KeyHi != 0 || req.Limit != 0 {
+		t.Fatalf("v1 request must zero-fill v2 fields: %+v", req)
+	}
+}
+
+func TestProtoTTLWire(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want uint32
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Millisecond, 1},
+		{200 * time.Microsecond, 1}, // rounds up, never silently immortal
+		{1500 * time.Microsecond, 2},
+		{time.Hour, 3600_000},
+		{100 * 24 * 365 * time.Hour, ^uint32(0)}, // ~100 years clamps at wire max
+	}
+	for _, c := range cases {
+		if got := ttlToWire(c.in); got != c.want {
+			t.Errorf("ttlToWire(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProtoResponseRoundTrip(t *testing.T) {
+	resps := []struct {
+		id uint32
+		r  Response
+	}{
+		{9, Response{Status: StatusExists, Val: 77}},
+		{10, Response{Status: StatusOK}},
+		{11, Response{Status: StatusOK, Pairs: []Pair{{1, 100}, {2, 200}, {^uint64(0) - 1, ^uint64(0)}}}},
+	}
+	var wire []byte
+	for _, c := range resps {
+		wire = appendResponse(wire, c.id, c.r)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	var buf []byte
+	for _, want := range resps {
+		p, err := readFrame(br, maxRespFrame, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = p[:0]
+		id, r, err := parseResponse(p)
+		if err != nil {
+			t.Fatalf("parseResponse: %v", err)
+		}
+		if id != want.id || r.Status != want.r.Status || r.Val != want.r.Val {
+			t.Fatalf("got (%d %+v), want %+v", id, r, want)
+		}
+		if len(r.Pairs) != len(want.r.Pairs) {
+			t.Fatalf("got %d pairs, want %d", len(r.Pairs), len(want.r.Pairs))
+		}
+		for i := range r.Pairs {
+			if r.Pairs[i] != want.r.Pairs[i] {
+				t.Fatalf("pair %d: got %+v, want %+v", i, r.Pairs[i], want.r.Pairs[i])
+			}
+		}
 	}
 }
 
 func TestProtoRejectsBadLengths(t *testing.T) {
-	// Wrong announced length for the direction.
+	// A response-sized frame is not a valid request length.
 	var wire []byte
-	wire = appendResponse(wire, 1, StatusOK, 0)
-	br := bufio.NewReader(bytes.NewReader(wire))
-	if _, err := readFrame(br, reqPayloadLen, make([]byte, reqPayloadLen)); err == nil {
-		t.Fatal("response-sized frame accepted as a request")
+	wire = appendResponse(wire, 1, Response{Status: StatusOK})
+	if p, err := readFrame(bufio.NewReader(bytes.NewReader(wire)), maxReqFrame, nil); err == nil {
+		if _, _, perr := parseRequest(p); perr == nil {
+			t.Fatal("response-sized frame accepted as a request")
+		}
 	}
 	// Absurd length prefix: reject before attempting to read the payload.
-	huge := binary.BigEndian.AppendUint32(nil, maxFrame+1)
-	br = bufio.NewReader(bytes.NewReader(huge))
-	if _, err := readFrame(br, reqPayloadLen, make([]byte, reqPayloadLen)); err == nil {
+	huge := binary.BigEndian.AppendUint32(nil, maxRespFrame+1)
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(huge)), maxRespFrame, nil); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+	// A request length that is neither v1 nor v2 is a desync.
+	odd := binary.BigEndian.AppendUint32(nil, 31)
+	odd = append(odd, make([]byte, 31)...)
+	p, err := readFrame(bufio.NewReader(bytes.NewReader(odd)), maxReqFrame, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if _, _, perr := parseRequest(p); perr == nil {
+		t.Fatal("31-byte request accepted")
+	}
+	// A response whose announced pair count disagrees with its length.
+	bad := appendResponse(nil, 3, Response{Status: StatusOK, Pairs: []Pair{{1, 2}}})
+	binary.BigEndian.PutUint32(bad[4+13:], 2) // claim 2 pairs, carry 1
+	p, err = readFrame(bufio.NewReader(bytes.NewReader(bad)), maxRespFrame, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if _, _, perr := parseResponse(p); perr == nil {
+		t.Fatal("pair-count mismatch accepted")
 	}
 }

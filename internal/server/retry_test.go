@@ -13,7 +13,7 @@ import (
 // startFakeServer runs a minimal wire-protocol peer whose responses are
 // scripted by handle — the way to force statuses (busy, slow) that a real
 // engine only produces under contrived load.
-func startFakeServer(t *testing.T, handle func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration)) string {
+func startFakeServer(t *testing.T, handle func(id uint32, req Request) (Response, time.Duration)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -28,18 +28,21 @@ func startFakeServer(t *testing.T, handle func(id uint32, op Op, key, val uint64
 			go func(c net.Conn) {
 				defer c.Close()
 				br := bufio.NewReader(c)
-				buf := make([]byte, reqPayloadLen)
+				buf := make([]byte, reqPayloadV2Len)
 				for {
-					p, err := readFrame(br, reqPayloadLen, buf)
+					p, err := readFrame(br, maxReqFrame, buf)
 					if err != nil {
 						return
 					}
-					id, op, key, val, _ := parseRequest(p)
-					st, v, delay := handle(id, op, key, val)
+					id, req, err := parseRequest(p)
+					if err != nil {
+						return
+					}
+					resp, delay := handle(id, req)
 					if delay > 0 {
 						time.Sleep(delay)
 					}
-					if _, err := c.Write(appendResponse(nil, id, st, v)); err != nil {
+					if _, err := c.Write(appendResponse(nil, id, resp)); err != nil {
 						return
 					}
 				}
@@ -74,8 +77,8 @@ func TestBackoffDelayBounds(t *testing.T) {
 // DoRetry spend its attempts, sleep between them, count the retries, and
 // return an error wrapping ErrBusy alongside the last busy Resp.
 func TestDoRetryExhaustion(t *testing.T) {
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
-		return StatusBusy, 0, 0
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		return Response{Status: StatusBusy}, 0
 	})
 	cl, err := Dial(addr)
 	if err != nil {
@@ -95,16 +98,62 @@ func TestDoRetryExhaustion(t *testing.T) {
 	}
 }
 
+// TestWithRetryClient: a WithRetry client retries transparently inside
+// DoContext — no DoRetry call, no per-call policy — and succeeds once the
+// server stops answering busy.
+func TestWithRetryClient(t *testing.T) {
+	var calls int
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		calls++
+		if calls <= 2 {
+			return Response{Status: StatusBusy}, 0
+		}
+		return Response{Status: StatusOK, Val: req.Val}, 0
+	})
+	cl, err := Dial(addr, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.DoContext(context.Background(), Request{Op: OpPut, Key: 1, Val: 7})
+	if err != nil || resp.Status != StatusOK || resp.Val != 7 {
+		t.Fatalf("DoContext = %v, %v; want OK/7", resp, err)
+	}
+	if got := cl.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// TestWithRetryExhaustion: the WithRetry client's exhaustion surface matches
+// DoRetry's — the last busy Response plus an ErrBusy-wrapping error.
+func TestWithRetryExhaustion(t *testing.T) {
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		return Response{Status: StatusBusy}, 0
+	})
+	cl, err := Dial(addr, WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Get(context.Background(), 1)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Get error = %v, want errors.Is ErrBusy", err)
+	}
+	if resp.Status != StatusBusy {
+		t.Fatalf("Get resp = %v, want the last busy response", resp)
+	}
+}
+
 // TestDoRetryEventualSuccess: busy responses stop after two tries; the
 // third succeeds with no error.
 func TestDoRetryEventualSuccess(t *testing.T) {
 	var calls int
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
 		calls++
 		if calls <= 2 {
-			return StatusBusy, 0, 0
+			return Response{Status: StatusBusy}, 0
 		}
-		return StatusOK, val, 0
+		return Response{Status: StatusOK, Val: req.Val}, 0
 	})
 	cl, err := Dial(addr)
 	if err != nil {
@@ -120,9 +169,9 @@ func TestDoRetryEventualSuccess(t *testing.T) {
 
 // TestDoContextPreCancelled: an already-dead context never touches the wire.
 func TestDoContextPreCancelled(t *testing.T) {
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
 		t.Error("request reached the server despite a cancelled context")
-		return StatusOK, 0, 0
+		return Response{Status: StatusOK}, 0
 	})
 	cl, err := Dial(addr)
 	if err != nil {
@@ -131,7 +180,7 @@ func TestDoContextPreCancelled(t *testing.T) {
 	defer cl.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := cl.DoContext(ctx, OpGet, 1, 0); !errors.Is(err, context.Canceled) {
+	if _, err := cl.DoContext(ctx, Request{Op: OpGet, Key: 1}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("DoContext = %v, want context.Canceled", err)
 	}
 }
@@ -141,11 +190,11 @@ func TestDoContextPreCancelled(t *testing.T) {
 // is absorbed when it arrives and the same client keeps working, which is
 // the whole point of keeping the pending entry alive.
 func TestDoContextAbandonInFlight(t *testing.T) {
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
-		if op == OpGet {
-			return StatusOK, 9, 150 * time.Millisecond // slow: outlives the deadline
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		if req.Op == OpGet {
+			return Response{Status: StatusOK, Val: 9}, 150 * time.Millisecond // slow: outlives the deadline
 		}
-		return StatusOK, val, 0
+		return Response{Status: StatusOK, Val: req.Val}, 0
 	})
 	cl, err := Dial(addr)
 	if err != nil {
@@ -154,8 +203,8 @@ func TestDoContextAbandonInFlight(t *testing.T) {
 	defer cl.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := cl.DoContext(ctx, OpGet, 1, 0); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("DoContext = %v, want context.DeadlineExceeded", err)
+	if _, err := cl.Get(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get = %v, want context.DeadlineExceeded", err)
 	}
 	// The abandoned response lands mid-flight; the client must survive it
 	// and keep serving new calls on the same connection.
@@ -167,8 +216,8 @@ func TestDoContextAbandonInFlight(t *testing.T) {
 // TestCloseWrapsErrClosed: calls failed by Close report an error callers
 // can match with errors.Is(err, ErrClosed).
 func TestCloseWrapsErrClosed(t *testing.T) {
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
-		return StatusOK, val, time.Second // park the call until Close
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		return Response{Status: StatusOK, Val: req.Val}, time.Second // park the call until Close
 	})
 	cl, err := Dial(addr)
 	if err != nil {
@@ -189,8 +238,8 @@ func TestCloseWrapsErrClosed(t *testing.T) {
 // TestCloseContextGraceful: CloseContext waits out in-flight calls instead
 // of failing them.
 func TestCloseContextGraceful(t *testing.T) {
-	addr := startFakeServer(t, func(id uint32, op Op, key, val uint64) (Status, uint64, time.Duration) {
-		return StatusOK, val, 50 * time.Millisecond
+	addr := startFakeServer(t, func(id uint32, req Request) (Response, time.Duration) {
+		return Response{Status: StatusOK, Val: req.Val}, 50 * time.Millisecond
 	})
 	cl, err := Dial(addr)
 	if err != nil {

@@ -161,8 +161,21 @@ func (s *Server) Shutdown() {
 // wireResp is one response ready to encode.
 type wireResp struct {
 	id uint32
-	r  Resp
+	r  Response
 }
+
+// respBatchBytes is the writer's batching budget: keep encoding queued
+// responses until the buffer holds this much, then flush the run in one
+// write. With variable-length responses a byte budget (not a response
+// count) is what actually bounds the write size — one full range response
+// can exceed it alone, and then it simply flushes by itself.
+const respBatchBytes = 16 * 1024
+
+// respBufCap is the retained capacity cap for the writer's encode buffer:
+// a range-heavy burst may grow it to megabytes; past this it is dropped
+// after the flush so one burst does not pin the peak for the connection's
+// lifetime.
+const respBufCap = 64 * 1024
 
 // handle runs one connection: a reader loop (this goroutine) that parses
 // frames and submits them, and a writer goroutine that encodes completed
@@ -184,7 +197,7 @@ func (s *Server) handle(c net.Conn) {
 	go func() { // writer
 		defer close(writerDone)
 		bw := bufio.NewWriter(c)
-		buf := make([]byte, 0, 64*respPayloadLen)
+		buf := make([]byte, 0, respBatchBytes)
 		flush := func() {
 			if len(buf) == 0 {
 				return
@@ -198,21 +211,25 @@ func (s *Server) handle(c net.Conn) {
 					c.SetReadDeadline(time.Now())
 				}
 			}
-			buf = buf[:0]
+			if cap(buf) > respBufCap {
+				buf = make([]byte, 0, respBatchBytes)
+			} else {
+				buf = buf[:0]
+			}
 		}
 		for wr := range resps {
-			buf = appendResponse(buf, wr.id, wr.r.Status, wr.r.Val)
+			buf = appendResponse(buf, wr.id, wr.r)
 			<-inflight
 			// Batch: keep encoding while more responses are ready, then
 			// flush the whole run in one write.
-			for len(buf) < cap(buf) {
+			for len(buf) < respBatchBytes {
 				select {
 				case more, ok := <-resps:
 					if !ok {
 						flush()
 						return
 					}
-					buf = appendResponse(buf, more.id, more.r.Status, more.r.Val)
+					buf = appendResponse(buf, more.id, more.r)
 					<-inflight
 				default:
 					goto emit
@@ -225,10 +242,10 @@ func (s *Server) handle(c net.Conn) {
 	}()
 
 	br := bufio.NewReader(c)
-	frame := make([]byte, reqPayloadLen)
+	frame := make([]byte, maxReqFrame)
 	for !dead.Load() {
 		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		payload, err := readFrame(br, reqPayloadLen, frame)
+		payload, err := readFrame(br, maxReqFrame, frame)
 		if err != nil {
 			var ne net.Error
 			switch {
@@ -242,21 +259,27 @@ func (s *Server) handle(c net.Conn) {
 			}
 			break
 		}
-		id, op, key, val, trace := parseRequest(payload)
+		id, req, perr := parseRequest(payload)
+		if perr != nil {
+			// An announced length that is neither request version means a
+			// desynchronized stream; nothing after it can be trusted.
+			s.protoDropped.Add(1)
+			break
+		}
 		// Reserve a semaphore slot before submitting: at most MaxInflight
 		// responses can ever be queued, so resps never blocks a worker.
 		inflight <- struct{}{}
 		outstanding.Add(1)
-		done := func(r Resp) {
+		done := func(r Response) {
 			resps <- wireResp{id: id, r: r}
 			outstanding.Done()
 		}
-		if !op.valid() {
-			done(Resp{Status: StatusBadRequest})
+		if !req.Op.valid() {
+			done(Response{Status: StatusBadRequest})
 			s.protoRejected.Add(1)
 			continue
 		}
-		if err := s.eng.SubmitTraced(op, key, val, trace, done); err != nil {
+		if err := s.eng.SubmitRequest(req, done); err != nil {
 			// ErrBusy (queue full) and ErrShedding (unreclaimed backlog
 			// above the hard watermark) are both transient overload: the
 			// client sees StatusBusy and retries with backoff.
@@ -264,7 +287,7 @@ func (s *Server) handle(c net.Conn) {
 			if errors.Is(err, ErrClosed) {
 				st = StatusShutdown
 			}
-			done(Resp{Status: st})
+			done(Response{Status: st})
 		}
 	}
 	outstanding.Wait() // every submitted request has enqueued its response

@@ -264,20 +264,23 @@ func TestServerRejectsBadOp(t *testing.T) {
 	defer raw.Close()
 	raw.SetDeadline(time.Now().Add(5 * time.Second))
 
-	frame := appendRequest(nil, 7, Op(99), 1, 2, 0)
-	frame = appendRequest(frame, 8, OpPing, 0, 42, 0) // valid op on the same conn
+	frame := appendRequest(nil, 7, Request{Op: Op(99), Key: 1, Val: 2})
+	frame = appendRequest(frame, 8, Request{Op: OpPing, Val: 42}) // valid op on the same conn
 	if _, err := raw.Write(frame); err != nil {
 		t.Fatal(err)
 	}
 	br := bufio.NewReader(raw)
 	got := map[uint32]Status{}
 	for i := 0; i < 2; i++ {
-		payload, err := readFrame(br, respPayloadLen, make([]byte, respPayloadLen))
+		payload, err := readFrame(br, maxRespFrame, nil)
 		if err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
-		id, st, _ := parseResponse(payload)
-		got[id] = st
+		id, resp, perr := parseResponse(payload)
+		if perr != nil {
+			t.Fatalf("response %d: %v", i, perr)
+		}
+		got[id] = resp.Status
 	}
 	if got[7] != StatusBadRequest {
 		t.Fatalf("bad-op response = %v, want BAD_REQUEST", got[7])

@@ -148,7 +148,7 @@ func TestTraceIDWireRoundTrip(t *testing.T) {
 	const traceID = 0xABCD_0001_0002_0003
 	ctx, cancel := context.WithTimeout(WithTraceID(context.Background(), traceID), 5*time.Second)
 	defer cancel()
-	if r, err := cl.DoContext(ctx, OpPut, 7, 11); err != nil || r.Status != StatusOK {
+	if r, err := cl.DoContext(ctx, Request{Op: OpPut, Key: 7, Val: 11}); err != nil || r.Status != StatusOK {
 		t.Fatalf("traced PUT: %v / %v", r.Status, err)
 	}
 

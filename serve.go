@@ -31,17 +31,34 @@ type ServerConfig = server.ServerConfig
 // Client is a pipelined, context-aware connection to a served Engine.
 type Client = server.Client
 
-// RetryPolicy shapes Client.DoRetry's jittered exponential backoff on
-// StatusBusy responses.
+// ClientOption configures a Client at dial time (see WithRetry).
+type ClientOption = server.ClientOption
+
+// RetryPolicy shapes a retrying client's jittered exponential backoff on
+// StatusBusy responses (see WithRetry).
 type RetryPolicy = server.RetryPolicy
 
-// Op is a wire operation code; Status a wire response code; Resp one
-// operation's engine-level result.
+// Request is one typed operation — the unit of Client.DoContext and
+// Engine.SubmitRequest. Optional fields (KeyHi, TTL, Limit, TraceID) are
+// zero for ops that don't use them.
+type Request = server.Request
+
+// Response is one operation's result; Pairs is set only for Range.
+type Response = server.Response
+
+// Pair is one key→value result of a Range scan.
+type Pair = server.Pair
+
+// Op is a wire operation code; Status a wire response code.
 type (
 	Op     = server.Op
 	Status = server.Status
-	Resp   = server.Resp
 )
+
+// Resp is the former name of Response.
+//
+// Deprecated: use Response.
+type Resp = server.Resp
 
 // ObsOptions tunes the engine's observability layer (EngineConfig.Obs).
 type ObsOptions = obs.Options
@@ -58,24 +75,27 @@ func NewSchemeObs(cfg SchemeObsConfig) *SchemeObs { return obs.NewSchemeObs(cfg)
 
 // Wire operation and status codes, re-exported verbatim.
 const (
-	OpPing = server.OpPing
-	OpGet  = server.OpGet
-	OpPut  = server.OpPut
-	OpDel  = server.OpDel
+	OpPing  = server.OpPing
+	OpGet   = server.OpGet
+	OpPut   = server.OpPut
+	OpDel   = server.OpDel
+	OpRange = server.OpRange
 
-	StatusOK         = server.StatusOK
-	StatusNotFound   = server.StatusNotFound
-	StatusExists     = server.StatusExists
-	StatusBusy       = server.StatusBusy
-	StatusShutdown   = server.StatusShutdown
-	StatusBadRequest = server.StatusBadRequest
-	StatusInternal   = server.StatusInternal
+	StatusOK          = server.StatusOK
+	StatusNotFound    = server.StatusNotFound
+	StatusExists      = server.StatusExists
+	StatusBusy        = server.StatusBusy
+	StatusShutdown    = server.StatusShutdown
+	StatusBadRequest  = server.StatusBadRequest
+	StatusInternal    = server.StatusInternal
+	StatusUnsupported = server.StatusUnsupported
 )
 
 // Typed sentinels, all errors.Is-comparable:
 //
-//   - ErrBusy: a shard queue was full, or a DoRetry ran out of attempts
-//     against busy responses — transient overload, retry with backoff.
+//   - ErrBusy: a shard queue was full, or a retrying client ran out of
+//     attempts against busy responses — transient overload, retry with
+//     backoff.
 //   - ErrShedding: a shard is refusing work while its unreclaimed backlog
 //     sits above the hard watermark; also transient, but caused by
 //     reclamation lag rather than request volume.
@@ -96,8 +116,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return server.NewEngine(cfg)
 // NewServer wraps an Engine in the TCP front end.
 func NewServer(e *Engine, cfg ServerConfig) *Server { return server.NewServer(e, cfg) }
 
-// DialServer connects a Client to a served Engine.
-func DialServer(addr string) (*Client, error) { return server.Dial(addr) }
+// DialServer connects a Client to a served Engine. Options configure the
+// client — notably WithRetry, which makes DoContext transparently retry
+// StatusBusy responses.
+func DialServer(addr string, opts ...ClientOption) (*Client, error) {
+	return server.Dial(addr, opts...)
+}
+
+// WithRetry makes a Client's DoContext transparently retry StatusBusy
+// responses under p with jittered exponential backoff.
+func WithRetry(p RetryPolicy) ClientOption { return server.WithRetry(p) }
 
 // WithTraceID returns a context carrying a causal trace ID; Client.DoContext
 // sends it in the request frame and the serving worker records the op's
