@@ -325,19 +325,39 @@ func (sl *SkipList) Get(tid int, key uint64) (uint64, bool) {
 }
 
 // Range calls fn in ascending key order for every pair with from <= key <=
-// to, walking the level-0 chain under one reservation bracket. Like the
-// list's Range it is weakly consistent: logically deleted nodes are
-// skipped, and a node removed mid-scan still leads onward — Harris-style
-// removal leaves a retired node's next pointer intact, so the frozen chain
-// converges back into the live list and the reservation keeps every node on
-// it from being recycled under us. The resume cursor guarantees no key is
-// ever emitted twice.
+// to. It descends the index levels (as Get does) to reach from's level-0
+// predecessor, then walks the level-0 chain from there — so a small
+// interval costs O(log n + results), not O(total keys), and the
+// reservation the scan holds is no longer than the scan itself. The whole
+// thing runs under one StartOp/EndOp bracket. Unlike find, the descent is
+// read-only: it steps over marked nodes instead of snipping them (a scan
+// should not CAS), which is safe for the same reason the level-0 walk is —
+// Harris-style removal leaves a removed node's next pointers intact, so a
+// frozen chain converges back into the live list and the reservation keeps
+// every node on it from being recycled under us. Like the list's Range it
+// is weakly consistent: logically deleted nodes are skipped, and the
+// resume cursor guarantees no key is ever emitted twice.
 func (sl *SkipList) Range(tid int, from, to uint64, fn func(key, val uint64) bool) {
 	s := sl.s
 	s.StartOp(tid)
 	defer s.EndOp(tid)
 	lo := from
-	curr := s.Read(tid, 0, &sl.head.next[0]).ClearMarks()
+	pred := &sl.head
+	for level := MaxLevel - 1; level >= 1; level-- {
+		curr := s.Read(tid, 0, &pred.next[level]).ClearMarks()
+		for !curr.IsNil() {
+			n := sl.pool.Get(curr)
+			if n.key >= from {
+				break
+			}
+			// Advancing through (possibly marked) nodes without snipping:
+			// keys are immutable while reserved, so the order holds even on
+			// a frozen chain.
+			pred = n
+			curr = s.Read(tid, 1, &n.next[level]).ClearMarks()
+		}
+	}
+	curr := s.Read(tid, 0, &pred.next[0]).ClearMarks()
 	for !curr.IsNil() {
 		n := sl.pool.Get(curr)
 		next := s.Read(tid, 1, &n.next[0])

@@ -456,7 +456,11 @@ func (e *Engine) remediator() {
 			// on a worker keeps the one-goroutine-per-tid contract — the
 			// remediator never touches the structure itself.
 			if due := sh.wheel.collectDue(now.UnixNano(), nil); len(due) > 0 {
-				sh.q.pushControl(request{req: Request{Op: opCtlExpire}, exp: due})
+				if !sh.q.pushControl(request{req: Request{Op: opCtlExpire}, exp: due}) {
+					// Queue closed under us (shutdown race): re-arm the batch
+					// so the collect isn't a silent drop.
+					sh.wheel.requeue(due, now.UnixNano())
+				}
 			}
 
 			snaps[si] = sh.leases.snapshot(snaps[si])
@@ -627,6 +631,13 @@ func (e *Engine) worker(sh *shard, tid int, gen uint64) {
 				r.rng.finish(e, sh, nil, Response{Status: StatusInternal})
 			} else if r.done != nil {
 				r.done(Response{Status: StatusInternal})
+			} else if len(r.exp) > 0 {
+				// An expiry batch this worker never (fully) executed:
+				// collectDue already disarmed the keys, so hand them back to
+				// the wheel or they never expire. The batch at `cur` may be
+				// partially done — re-arming an already-removed key is
+				// harmless (its removal just fails on the next pass).
+				sh.wheel.requeue(r.exp, time.Now().UnixNano())
 			}
 		}
 	}()

@@ -120,14 +120,51 @@ func (w *expiryWheel) collectDue(now int64, due []expEntry) []expEntry {
 				due = append(due, en)
 				continue
 			}
-			// Armed ≥ one revolution ahead: stays in its slot for a later
-			// pass. Appending to the slice we are compacting is safe — the
-			// write index never passes the read index.
-			w.slots[si] = append(w.slots[si], en)
+			// Not yet due. Two cases, told apart by the deadline's own tick.
+			// If that tick is still ahead of the clock, the entry is armed ≥
+			// one revolution out (wheel wrap) and its slot comes around
+			// again: leave it where it is. But if the tick was just crossed
+			// (a deadline later within this tick than the poll, or an entry
+			// parked into a crossed slot by schedule), this slot will not be
+			// revisited for a full revolution — park it in the next tick to
+			// be collected, mirroring schedule()'s already-collected-tick
+			// handling, so it lapses on the next poll instead of ~one wheel
+			// turn late. Appending to the slice we are compacting is safe —
+			// the write index never passes the read index — and the parked
+			// slot is either past this pass's range or already compacted.
+			if rec.deadline/w.gran <= cur {
+				ni := int((cur + 1) % wheelSlots)
+				w.slots[ni] = append(w.slots[ni], en)
+			} else {
+				w.slots[si] = append(w.slots[si], en)
+			}
 		}
 	}
 	w.lastTick = cur
 	return due
+}
+
+// requeue re-arms entries whose opCtlExpire batch never executed (the
+// worker died mid-batch, or the shard queue closed under the control op).
+// collectDue already disarmed them, so without this they would silently
+// never expire. Each key is re-armed as due-now and parked in the next
+// tick to be collected; a key the table knows again (re-armed by a client
+// Put in the meantime) keeps its newer record — the newer arm wins. The
+// residual race — the dead worker already removed the key and a client
+// re-Put it TTL-less before requeue runs — can expire the new value one
+// tick early, the same acknowledged window the collect/execute gap has.
+func (w *expiryWheel) requeue(entries []expEntry, now int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, en := range entries {
+		if _, ok := w.table[en.key]; ok {
+			continue
+		}
+		w.seq++
+		w.table[en.key] = expRecord{deadline: now, seq: w.seq}
+		si := int((w.lastTick + 1) % wheelSlots)
+		w.slots[si] = append(w.slots[si], expEntry{key: en.key, seq: w.seq})
+	}
 }
 
 // pending returns how many keys are currently armed.

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExpiryWheelSameTickDeadline pins the one-tick lag promise: a deadline
+// that lands later within a tick the poll just collected must lapse on the
+// next poll, not a full wheel revolution (~wheelSlots ticks) later. With
+// RemedyInterval == granularity (both default 50ms) roughly half of all
+// deadlines land in exactly this window, so the regression is the common
+// case, not a corner.
+func TestExpiryWheelSameTickDeadline(t *testing.T) {
+	const g = 100 // slot width in ns
+	w := newExpiryWheel(g*time.Nanosecond, 1000)
+
+	// Deadline 1150 sits in tick 11; the first poll happens at 1120 —
+	// inside tick 11 but before the deadline.
+	w.schedule(1, 1150)
+	if due := w.collectDue(1120, nil); len(due) != 0 {
+		t.Fatalf("key due %d ns early: %v", 1150-1120, due)
+	}
+	// The very next tick's poll must deliver it.
+	due := w.collectDue(1220, nil)
+	if len(due) != 1 || due[0].key != 1 {
+		t.Fatalf("key not due one tick after its deadline: %v", due)
+	}
+	if w.pending() != 0 {
+		t.Fatalf("collected key still armed: pending=%d", w.pending())
+	}
+}
+
+// TestExpiryWheelWrapStaysParked: an entry armed more than a revolution out
+// keeps its slot across intermediate passes and lapses on time.
+func TestExpiryWheelWrapStaysParked(t *testing.T) {
+	const g = 100
+	w := newExpiryWheel(g*time.Nanosecond, 1000)
+
+	w.schedule(7, 1000+g*130) // 130 ticks out: two revolutions ahead
+	if due := w.collectDue(1000+g*70, nil); len(due) != 0 {
+		t.Fatalf("wrapped entry collected %d ticks early: %v", 130-70, due)
+	}
+	due := w.collectDue(1000+g*131, nil)
+	if len(due) != 1 || due[0].key != 7 {
+		t.Fatalf("wrapped entry never lapsed: %v", due)
+	}
+}
+
+// TestExpiryWheelRequeue: keys disarmed by collectDue whose removal batch
+// was lost (worker panic, closed queue) are re-armed by requeue and
+// surface again on the next poll — unless the table learned a newer arm in
+// the meantime, which wins.
+func TestExpiryWheelRequeue(t *testing.T) {
+	const g = 100
+	w := newExpiryWheel(g*time.Nanosecond, 1000)
+
+	w.schedule(1, 1050)
+	w.schedule(2, 1050)
+	due := w.collectDue(1000+g*2, nil)
+	if len(due) != 2 {
+		t.Fatalf("want both keys due, got %v", due)
+	}
+	// Key 2 gets re-armed by a "client" before the recovery runs: requeue
+	// must not clobber the newer record.
+	w.schedule(2, 1000+g*500)
+	w.requeue(due, 1000+g*2)
+	again := w.collectDue(1000+g*3, nil)
+	if len(again) != 1 || again[0].key != 1 {
+		t.Fatalf("requeue: want key 1 due again (and only it), got %v", again)
+	}
+	if w.pending() != 1 { // key 2's newer arm survives
+		t.Fatalf("pending=%d, want 1 (key 2 re-armed far out)", w.pending())
+	}
+}

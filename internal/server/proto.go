@@ -164,24 +164,32 @@ type Resp = Response
 // Frame layout. Every frame is a 4-byte big-endian payload length followed
 // by the payload:
 //
-//	request v2: id u32 | op u8 | key u64 | keyHi u64 | val u64 | ttlMs u32 | limit u32 | trace u64  (45 bytes)
-//	request v1: id u32 | op u8 | key u64 | val u64 | trace u64                                      (29 bytes, legacy)
-//	response:   id u32 | st u8 | val u64 | npairs u32 | npairs × (key u64 | val u64)                (17 + 16·npairs bytes)
+//	request v2:  id u32 | op u8 | key u64 | keyHi u64 | val u64 | ttlMs u32 | limit u32 | trace u64  (45 bytes)
+//	request v1:  id u32 | op u8 | key u64 | val u64 | trace u64                                      (29 bytes, legacy)
+//	response v2: id u32 | st u8 | val u64 | npairs u32 | npairs × (key u64 | val u64)                (17 + 16·npairs bytes)
+//	response v1: id u32 | st u8 | val u64                                                           (13 bytes, legacy)
 //
 // id is a connection-scoped request identifier chosen by the client; the
 // server echoes it, so responses may complete out of order and clients can
 // pipeline arbitrarily deep. The explicit length prefix (rather than bare
 // fixed frames) is what makes the protocol evolvable: the server tells v1
 // and v2 requests apart by announced length alone and fills the missing v2
-// fields with zero, so old clients keep working against a v2 server; and
-// responses became variable-length the moment Range needed to carry pairs,
-// with no version byte anywhere. Both ends still reject a desynchronized or
-// hostile stream immediately via the per-direction length bounds.
+// fields with zero, so old clients keep working against a v2 server. The
+// compatibility promise covers both directions — a pre-range client also
+// expects exactly 13-byte responses, so the server keys each response's
+// encoding off its request's announced length and answers v1-framed
+// requests with the legacy layout (v1 ops can never carry pairs; a
+// v1-framed RANGE is rejected as a bad request, exactly as the v1 server
+// rejected op 5). v2 responses became variable-length the moment Range
+// needed to carry pairs, with no version byte anywhere. Both ends still
+// reject a desynchronized or hostile stream immediately via the
+// per-direction length bounds.
 const (
-	reqPayloadV1Len = 29
-	reqPayloadV2Len = 45
-	respHeaderLen   = 17
-	pairLen         = 16
+	reqPayloadV1Len  = 29
+	reqPayloadV2Len  = 45
+	respHeaderLen    = 17
+	respPayloadV1Len = 13
+	pairLen          = 16
 	// maxReqFrame bounds announced request payload lengths. Requests are
 	// small and fixed-size; anything larger is a desynchronized stream.
 	maxReqFrame = reqPayloadV2Len
@@ -232,6 +240,17 @@ func appendRequestV1(b []byte, id uint32, op Op, key, val, trace uint64) []byte 
 	return binary.BigEndian.AppendUint64(b, trace)
 }
 
+// appendResponseV1 appends one encoded legacy (13-byte) response frame to
+// b. The server uses it to answer v1-framed requests — a pre-range client
+// reads responses with a hard 13-byte bound, so it must never see the v2
+// header. Pairs are dropped by construction: v1 ops cannot produce them.
+func appendResponseV1(b []byte, id uint32, r Response) []byte {
+	b = binary.BigEndian.AppendUint32(b, respPayloadV1Len)
+	b = binary.BigEndian.AppendUint32(b, id)
+	b = append(b, byte(r.Status))
+	return binary.BigEndian.AppendUint64(b, r.Val)
+}
+
 // appendResponse appends one encoded response frame to b.
 func appendResponse(b []byte, id uint32, r Response) []byte {
 	n := respHeaderLen + pairLen*len(r.Pairs)
@@ -272,9 +291,13 @@ func readFrame(r *bufio.Reader, max int, buf []byte) ([]byte, error) {
 
 // parseRequest decodes a request payload, accepting both the legacy v1 and
 // the current v2 layout by length; v1 requests get zero KeyHi/TTL/Limit.
-func parseRequest(p []byte) (id uint32, req Request, err error) {
+// legacy reports which layout carried the request, because the answer must
+// travel back in the same dialect: the server encodes a 13-byte v1
+// response for a v1-framed request.
+func parseRequest(p []byte) (id uint32, req Request, legacy bool, err error) {
 	switch len(p) {
 	case reqPayloadV1Len:
+		legacy = true
 		id = binary.BigEndian.Uint32(p[0:4])
 		req.Op = Op(p[4])
 		req.Key = binary.BigEndian.Uint64(p[5:13])
@@ -292,6 +315,19 @@ func parseRequest(p []byte) (id uint32, req Request, err error) {
 	default:
 		err = fmt.Errorf("server: request length %d, want %d (v2) or %d (v1)", len(p), reqPayloadV2Len, reqPayloadV1Len)
 	}
+	return
+}
+
+// parseResponseV1 decodes a legacy 13-byte response payload. Only tests use
+// it — it is the pre-range client's reader, pinning the response-direction
+// half of the compatibility promise.
+func parseResponseV1(p []byte) (id uint32, resp Response, err error) {
+	if len(p) != respPayloadV1Len {
+		return 0, Response{}, fmt.Errorf("server: v1 response length %d, want %d", len(p), respPayloadV1Len)
+	}
+	id = binary.BigEndian.Uint32(p[0:4])
+	resp.Status = Status(p[4])
+	resp.Val = binary.BigEndian.Uint64(p[5:13])
 	return
 }
 

@@ -31,12 +31,12 @@ func TestProtoRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("readFrame: %v", err)
 		}
-		id, req, err := parseRequest(p)
+		id, req, legacy, err := parseRequest(p)
 		if err != nil {
 			t.Fatalf("parseRequest: %v", err)
 		}
-		if id != want.id || req != want.req {
-			t.Fatalf("got (%d %+v), want %+v", id, req, want)
+		if id != want.id || req != want.req || legacy {
+			t.Fatalf("got (%d %+v legacy=%v), want %+v", id, req, legacy, want)
 		}
 	}
 	if _, err := readFrame(br, maxReqFrame, buf); err == nil {
@@ -53,7 +53,7 @@ func TestProtoRequestV1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("readFrame: %v", err)
 	}
-	id, req, err := parseRequest(p)
+	id, req, legacy, err := parseRequest(p)
 	if err != nil {
 		t.Fatalf("parseRequest: %v", err)
 	}
@@ -61,8 +61,39 @@ func TestProtoRequestV1Compat(t *testing.T) {
 	if id != 17 || req != want {
 		t.Fatalf("got (%d %+v), want (17 %+v)", id, req, want)
 	}
+	if !legacy {
+		t.Fatal("29-byte frame not flagged legacy: its response would use the v2 layout")
+	}
 	if req.TTL != 0 || req.KeyHi != 0 || req.Limit != 0 {
 		t.Fatalf("v1 request must zero-fill v2 fields: %+v", req)
+	}
+}
+
+// TestProtoResponseV1Compat pins the response direction of the promise: the
+// legacy encoding is exactly 13 payload bytes, readable by a pre-range
+// client whose readFrame bound is 13.
+func TestProtoResponseV1Compat(t *testing.T) {
+	wire := appendResponseV1(nil, 23, Response{Status: StatusExists, Val: 0xFEED})
+	if len(wire) != 4+respPayloadV1Len {
+		t.Fatalf("v1 response frame is %d bytes, want %d", len(wire), 4+respPayloadV1Len)
+	}
+	// A v1 client bounds announced lengths at exactly respPayloadV1Len.
+	p, err := readFrame(bufio.NewReader(bytes.NewReader(wire)), respPayloadV1Len, nil)
+	if err != nil {
+		t.Fatalf("v1-bounded readFrame: %v", err)
+	}
+	id, resp, err := parseResponseV1(p)
+	if err != nil {
+		t.Fatalf("parseResponseV1: %v", err)
+	}
+	if id != 23 || resp.Status != StatusExists || resp.Val != 0xFEED {
+		t.Fatalf("got (%d %+v), want (23 EXISTS 0xFEED)", id, resp)
+	}
+	// The v2 encoding must NOT pass a v1 reader: that asymmetry is the bug
+	// class this test exists for.
+	v2 := appendResponse(nil, 23, Response{Status: StatusExists, Val: 0xFEED})
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(v2)), respPayloadV1Len, nil); err == nil {
+		t.Fatal("v2 response accepted by a v1-bounded reader")
 	}
 }
 
@@ -130,7 +161,7 @@ func TestProtoRejectsBadLengths(t *testing.T) {
 	var wire []byte
 	wire = appendResponse(wire, 1, Response{Status: StatusOK})
 	if p, err := readFrame(bufio.NewReader(bytes.NewReader(wire)), maxReqFrame, nil); err == nil {
-		if _, _, perr := parseRequest(p); perr == nil {
+		if _, _, _, perr := parseRequest(p); perr == nil {
 			t.Fatal("response-sized frame accepted as a request")
 		}
 	}
@@ -146,7 +177,7 @@ func TestProtoRejectsBadLengths(t *testing.T) {
 	if err != nil {
 		t.Fatalf("readFrame: %v", err)
 	}
-	if _, _, perr := parseRequest(p); perr == nil {
+	if _, _, _, perr := parseRequest(p); perr == nil {
 		t.Fatal("31-byte request accepted")
 	}
 	// A response whose announced pair count disagrees with its length.

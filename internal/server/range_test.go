@@ -266,7 +266,10 @@ func TestServerRangeTTLOverWire(t *testing.T) {
 
 // TestServerV1CompatOverWire: a legacy 29-byte v1 frame (no KeyHi, TTL, or
 // Limit) still round-trips against the v2 server — the length prefix is the
-// version discriminator.
+// version discriminator — AND the responses come back in the legacy
+// 13-byte layout. The reader below is a faithful v1 client: it bounds
+// announced response lengths at respPayloadV1Len, so any v2-encoded answer
+// fails the test immediately.
 func TestServerV1CompatOverWire(t *testing.T) {
 	addr, _ := startTestServer(t,
 		EngineConfig{Shards: 2, WorkersPerShard: 1}, ServerConfig{})
@@ -282,11 +285,11 @@ func TestServerV1CompatOverWire(t *testing.T) {
 		if _, err := conn.Write(appendRequestV1(nil, id, op, key, val, 0)); err != nil {
 			t.Fatal(err)
 		}
-		frame, err := readFrame(br, maxRespFrame, nil)
+		frame, err := readFrame(br, respPayloadV1Len, nil)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("v1-bounded readFrame: %v", err)
 		}
-		gotID, resp, err := parseResponse(frame)
+		gotID, resp, err := parseResponseV1(frame)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -307,5 +310,60 @@ func TestServerV1CompatOverWire(t *testing.T) {
 	}
 	if r := roundTrip(4, OpGet, 42, 0); r.Status != StatusNotFound {
 		t.Fatalf("v1 Get after Del = %v, want NOT_FOUND", r.Status)
+	}
+	// Op 5 (RANGE) does not exist in the v1 dialect and its result could
+	// not be framed in 13 bytes anyway: the server must reject it, not
+	// answer with pairs.
+	if r := roundTrip(5, OpRange, 0, 0); r.Status != StatusBadRequest {
+		t.Fatalf("v1-framed RANGE = %v, want BAD_REQUEST", r.Status)
+	}
+	// The connection survives the rejection.
+	if r := roundTrip(6, OpPing, 0, 7); r.Status != StatusOK || r.Val != 7 {
+		t.Fatalf("Ping after rejected RANGE = %v/%d, want OK/7", r.Status, r.Val)
+	}
+}
+
+// TestServerMixedVersionsOneConn pins per-request dialect selection: v1 and
+// v2 frames interleaved on one connection each get answers in their own
+// framing.
+func TestServerMixedVersionsOneConn(t *testing.T) {
+	addr, _ := startTestServer(t,
+		EngineConfig{Shards: 2, WorkersPerShard: 1}, ServerConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// v2 Put, then v1 Get of the same key, then v2 Get: one at a time so
+	// the response order is deterministic.
+	if _, err := conn.Write(appendRequest(nil, 1, Request{Op: OpPut, Key: 9, Val: 90})); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := readFrame(br, maxRespFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, r, err := parseResponse(frame); err != nil || id != 1 || r.Status != StatusOK {
+		t.Fatalf("v2 Put = id %d %+v err %v", id, r, err)
+	}
+	if _, err := conn.Write(appendRequestV1(nil, 2, OpGet, 9, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if frame, err = readFrame(br, respPayloadV1Len, nil); err != nil {
+		t.Fatalf("v1 response after v2 traffic: %v", err)
+	}
+	if id, r, err := parseResponseV1(frame); err != nil || id != 2 || r.Status != StatusOK || r.Val != 90 {
+		t.Fatalf("v1 Get = id %d %+v err %v, want OK/90", id, r, err)
+	}
+	if _, err := conn.Write(appendRequest(nil, 3, Request{Op: OpGet, Key: 9})); err != nil {
+		t.Fatal(err)
+	}
+	if frame, err = readFrame(br, maxRespFrame, nil); err != nil {
+		t.Fatal(err)
+	}
+	if id, r, err := parseResponse(frame); err != nil || id != 3 || r.Status != StatusOK || r.Val != 90 {
+		t.Fatalf("v2 Get = id %d %+v err %v, want OK/90", id, r, err)
 	}
 }

@@ -34,7 +34,7 @@ func startFakeServer(t *testing.T, handle func(id uint32, req Request) (Response
 					if err != nil {
 						return
 					}
-					id, req, err := parseRequest(p)
+					id, req, _, err := parseRequest(p)
 					if err != nil {
 						return
 					}

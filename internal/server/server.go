@@ -158,10 +158,14 @@ func (s *Server) Shutdown() {
 	s.eng.Close()
 }
 
-// wireResp is one response ready to encode.
+// wireResp is one response ready to encode. legacy selects the 13-byte v1
+// encoding: a response always answers in its request's framing dialect, so
+// pre-range clients (which read with a hard 13-byte bound) never see the
+// v2 header.
 type wireResp struct {
-	id uint32
-	r  Response
+	id     uint32
+	legacy bool
+	r      Response
 }
 
 // respBatchBytes is the writer's batching budget: keep encoding queued
@@ -217,8 +221,15 @@ func (s *Server) handle(c net.Conn) {
 				buf = buf[:0]
 			}
 		}
+		encode := func(wr wireResp) {
+			if wr.legacy {
+				buf = appendResponseV1(buf, wr.id, wr.r)
+			} else {
+				buf = appendResponse(buf, wr.id, wr.r)
+			}
+		}
 		for wr := range resps {
-			buf = appendResponse(buf, wr.id, wr.r)
+			encode(wr)
 			<-inflight
 			// Batch: keep encoding while more responses are ready, then
 			// flush the whole run in one write.
@@ -229,7 +240,7 @@ func (s *Server) handle(c net.Conn) {
 						flush()
 						return
 					}
-					buf = appendResponse(buf, more.id, more.r)
+					encode(more)
 					<-inflight
 				default:
 					goto emit
@@ -259,7 +270,7 @@ func (s *Server) handle(c net.Conn) {
 			}
 			break
 		}
-		id, req, perr := parseRequest(payload)
+		id, req, legacy, perr := parseRequest(payload)
 		if perr != nil {
 			// An announced length that is neither request version means a
 			// desynchronized stream; nothing after it can be trusted.
@@ -271,10 +282,13 @@ func (s *Server) handle(c net.Conn) {
 		inflight <- struct{}{}
 		outstanding.Add(1)
 		done := func(r Response) {
-			resps <- wireResp{id: id, r: r}
+			resps <- wireResp{id: id, legacy: legacy, r: r}
 			outstanding.Done()
 		}
-		if !req.Op.valid() {
+		// A v1 frame only speaks the pre-range op set: its 13-byte response
+		// cannot carry pairs, so a v1-framed RANGE is a bad request — the
+		// same verdict the v1 server gave op 5.
+		if !req.Op.valid() || (legacy && req.Op > OpDel) {
 			done(Response{Status: StatusBadRequest})
 			s.protoRejected.Add(1)
 			continue
